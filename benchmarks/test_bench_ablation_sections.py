@@ -1,0 +1,66 @@
+"""Ablation: cost of pipeline sections (buffer + pump pairs).
+
+Sections decouple timing but each one adds a thread, buffer hand-offs and
+messages.  This ablation quantifies the per-section cost, informing the
+design guidance implicit in the paper: buffers only where rate decoupling
+is actually needed.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    Buffer,
+    CollectSink,
+    Engine,
+    GreedyPump,
+    IterSource,
+    pipeline,
+)
+
+ITEMS = 128
+
+
+def build(sections: int):
+    parts = [IterSource(range(ITEMS)), GreedyPump()]
+    for _ in range(sections - 1):
+        parts.append(Buffer(capacity=8))
+        parts.append(GreedyPump())
+    parts.append(CollectSink())
+    return pipeline(*parts)
+
+
+def run(pipe):
+    engine = Engine(pipe)
+    engine.start()
+    engine.run()
+    return engine
+
+
+@pytest.mark.parametrize("sections", [1, 2, 4])
+def test_bench_sections(benchmark, sections):
+    def setup():
+        return (build(sections),), {}
+
+    benchmark.pedantic(run, setup=setup, rounds=10)
+
+
+def test_per_section_cost_is_roughly_constant():
+    def per_item(sections, repeats=8):
+        best = float("inf")
+        for _ in range(repeats):
+            pipe = build(sections)
+            started = time.perf_counter()
+            engine = run(pipe)
+            best = min(best, time.perf_counter() - started)
+            assert engine.pipeline.sinks()[0].items == list(range(ITEMS))
+        return best / ITEMS
+
+    costs = {n: per_item(n) for n in (1, 2, 3, 4)}
+    print("\n--- ablation: per-item cost vs section count ---")
+    for n, cost in costs.items():
+        print(f"{n} section(s): {cost * 1e6:8.2f} us/item")
+    assert costs[1] < costs[2] < costs[4]
+    # roughly linear: the 4th section costs no more than 3x the 2nd
+    assert (costs[4] - costs[3]) < 3 * max(1e-9, costs[2] - costs[1])

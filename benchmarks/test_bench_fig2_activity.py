@@ -1,0 +1,68 @@
+"""Figure 2: one pump thread drives pull-side and push-side stages.
+
+Benchmarks a section with filters on both sides of the pump, and shows the
+two sides cost the same (the thread walks both on every cycle) and that
+adding direct-call stages scales linearly — no per-stage thread cost.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    CollectSink,
+    GreedyPump,
+    IterSource,
+    MapFilter,
+    pipeline,
+)
+from benchmarks.conftest import run_engine
+
+ITEMS = 128
+
+
+def build(pull_stages: int, push_stages: int):
+    parts = [IterSource(range(ITEMS))]
+    parts += [MapFilter(lambda x: x) for _ in range(pull_stages)]
+    parts.append(GreedyPump())
+    parts += [MapFilter(lambda x: x) for _ in range(push_stages)]
+    parts.append(CollectSink())
+    return pipeline(*parts)
+
+
+def test_bench_fig2_three_stage_section(benchmark):
+    def setup():
+        return (build(1, 2),), {}
+
+    benchmark.pedantic(run_engine, setup=setup, rounds=20)
+
+
+def _cycle_cost(pull_stages, push_stages, repeats=10):
+    best = float("inf")
+    for _ in range(repeats):
+        pipe = build(pull_stages, push_stages)
+        started = time.perf_counter()
+        run_engine(pipe)
+        best = min(best, time.perf_counter() - started)
+    return best / ITEMS
+
+
+def test_fig2_sides_cost_the_same():
+    pull_heavy = _cycle_cost(4, 0)
+    push_heavy = _cycle_cost(0, 4)
+    print(f"\n--- Figure 2: per-item cost, 4 stages on one side ---")
+    print(f"pull side: {pull_heavy * 1e6:.2f} us/item; "
+          f"push side: {push_heavy * 1e6:.2f} us/item")
+    ratio = max(pull_heavy, push_heavy) / min(pull_heavy, push_heavy)
+    assert ratio < 1.6  # same thread, same direct calls, same cost
+
+
+def test_fig2_direct_stages_scale_linearly_not_threadwise():
+    costs = {n: _cycle_cost(n // 2, n - n // 2) for n in (0, 4, 8)}
+    print("\n--- Figure 2: cost vs direct-call stage count ---")
+    for n, cost in costs.items():
+        print(f"{n} stages: {cost * 1e6:.2f} us/item")
+    # marginal cost per added stage stays far below a coroutine crossing
+    per_stage = (costs[8] - costs[0]) / 8
+    base = costs[0]
+    assert per_stage < base  # adding a stage costs less than the base cycle

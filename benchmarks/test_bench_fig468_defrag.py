@@ -1,0 +1,80 @@
+"""Figures 4, 6 and 8: the three defragmenter implementations, benchmarked
+in both usage modes.
+
+The *natural* pairings (Figure 4: push implementation in push mode, pull in
+pull mode) run as direct calls; the *adapted* pairings (Figure 8) and the
+active object (Figure 6) pay one coroutine. Identical results, measurable
+placement cost — exactly the trade the middleware automates.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ActiveDefragmenter,
+    CollectSink,
+    GreedyPump,
+    IterSource,
+    PushDefragmenter,
+    PullDefragmenter,
+    pipeline,
+)
+from benchmarks.conftest import run_engine
+
+ITEMS = 128
+
+STYLES = {
+    "push-impl": PushDefragmenter,
+    "pull-impl": PullDefragmenter,
+    "active": ActiveDefragmenter,
+}
+
+
+def build(style_name: str, mode: str):
+    src, pump, sink = IterSource(range(ITEMS)), GreedyPump(), CollectSink()
+    stage = STYLES[style_name]()
+    if mode == "push":
+        return pipeline(src, pump, stage, sink), sink
+    return pipeline(src, stage, pump, sink), sink
+
+
+@pytest.mark.parametrize("style_name", sorted(STYLES))
+@pytest.mark.parametrize("mode", ["push", "pull"])
+def test_bench_defrag(benchmark, style_name, mode):
+    def setup():
+        pipe, _ = build(style_name, mode)
+        return (pipe,), {}
+
+    benchmark.pedantic(run_engine, setup=setup, rounds=15)
+
+
+def _rate(style_name, mode, repeats=10):
+    best = float("inf")
+    for _ in range(repeats):
+        pipe, _ = build(style_name, mode)
+        started = time.perf_counter()
+        run_engine(pipe)
+        best = min(best, time.perf_counter() - started)
+    return ITEMS / best
+
+
+def test_natural_mode_beats_adapted_mode():
+    print("\n--- Figures 4/6/8: defragmenter styles, items/s ---")
+    print(f"{'style':10} {'push mode':>12} {'pull mode':>12}")
+    rates = {}
+    for style_name in STYLES:
+        rates[style_name] = {
+            mode: _rate(style_name, mode) for mode in ("push", "pull")
+        }
+        print(f"{style_name:10} {rates[style_name]['push']:>12.0f} "
+              f"{rates[style_name]['pull']:>12.0f}")
+
+    # Figure 4 natural pairings are direct calls and beat their Figure 8
+    # adapted (coroutine) counterparts.
+    assert rates["push-impl"]["push"] > rates["push-impl"]["pull"]
+    assert rates["pull-impl"]["pull"] > rates["pull-impl"]["push"]
+    # Figure 6: the active object needs a coroutine either way; it never
+    # beats the best direct-call configuration.
+    best_direct = max(rates["push-impl"]["push"], rates["pull-impl"]["pull"])
+    assert max(rates["active"].values()) < best_direct

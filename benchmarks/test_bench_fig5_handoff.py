@@ -1,0 +1,79 @@
+"""Figure 5: the synchronous coroutine hand-off.
+
+Benchmarks one item traversing a set of two active components (the
+figure's scenario) and regenerates the cost-per-extra-coroutine series:
+each additional member of the set adds a measurable, roughly constant
+hand-off cost per item.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ActiveComponent,
+    CollectSink,
+    GreedyPump,
+    IterSource,
+    pipeline,
+)
+from benchmarks.conftest import run_engine
+
+ITEMS = 128
+
+
+class Passthrough(ActiveComponent):
+    def run(self):
+        while True:
+            item = yield self.pull()
+            yield self.push(item)
+
+
+def build(coroutine_stages: int):
+    parts = [IterSource(range(ITEMS)), GreedyPump()]
+    parts += [Passthrough() for _ in range(coroutine_stages)]
+    parts.append(CollectSink())
+    return pipeline(*parts)
+
+
+def test_bench_fig5_two_active_stages(benchmark):
+    def setup():
+        return (build(2),), {}
+
+    benchmark.pedantic(run_engine, setup=setup, rounds=15)
+
+
+def _per_item(stages, repeats=10):
+    best = float("inf")
+    for _ in range(repeats):
+        pipe = build(stages)
+        started = time.perf_counter()
+        run_engine(pipe)
+        best = min(best, time.perf_counter() - started)
+    return best / ITEMS
+
+
+def test_each_coroutine_adds_constant_handoff_cost():
+    costs = {n: _per_item(n) for n in (0, 1, 2, 3)}
+    print("\n--- Figure 5: per-item cost vs coroutine-set size ---")
+    for n, cost in costs.items():
+        print(f"{1 + n} coroutine(s): {cost * 1e6:8.2f} us/item")
+    # strictly increasing with set size
+    assert costs[0] < costs[1] < costs[2] < costs[3]
+    # and roughly linear: the 3rd coroutine costs no more than 3x the 1st
+    first_delta = costs[1] - costs[0]
+    third_delta = costs[3] - costs[2]
+    assert third_delta < first_delta * 3
+
+
+def test_handoff_count_matches_figure():
+    """Each item crossing a 2-coroutine set makes exactly 2 boundary
+    round trips (pump->c1, c1->c2); the sink is a direct call from c2."""
+    from repro import Engine
+
+    pipe = build(2)
+    engine = Engine(pipe)
+    engine.start()
+    engine.run()
+    # ITEMS data crossings per boundary + 1 EOS crossing per boundary
+    assert engine.stats.coroutine_switches == 2 * ITEMS + 2

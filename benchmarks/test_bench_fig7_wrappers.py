@@ -1,0 +1,87 @@
+"""Figure 7: the cost of the generated wrappers.
+
+A component used against its natural mode works — through the generated
+wrapper coroutine — at a measurable cost over the direct call.  The
+conversion-function style is free in both modes (the paper's "simple glue
+code").
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    CollectSink,
+    Consumer,
+    GreedyPump,
+    IterSource,
+    MapFilter,
+    Producer,
+    pipeline,
+)
+from benchmarks.conftest import run_engine
+
+ITEMS = 128
+
+
+class PullStage(Producer):
+    def pull(self):
+        return self.get() + 1
+
+
+class PushStage(Consumer):
+    def push(self, item):
+        self.put(item + 1)
+
+
+def build(kind: str, mode: str):
+    src, pump, sink = IterSource(range(ITEMS)), GreedyPump(), CollectSink()
+    stage = {
+        "producer": PullStage,
+        "consumer": PushStage,
+        "function": lambda: MapFilter(lambda x: x + 1),
+    }[kind]()
+    if mode == "push":
+        return pipeline(src, pump, stage, sink)
+    return pipeline(src, stage, pump, sink)
+
+
+@pytest.mark.parametrize("kind,mode", [
+    ("producer", "pull"),   # natural: direct
+    ("producer", "push"),   # Figure 7a wrapper
+    ("consumer", "push"),   # natural: direct
+    ("consumer", "pull"),   # Figure 7b wrapper
+    ("function", "push"),   # trivial glue
+    ("function", "pull"),   # trivial glue
+])
+def test_bench_wrapper(benchmark, kind, mode):
+    def setup():
+        return (build(kind, mode),), {}
+
+    benchmark.pedantic(run_engine, setup=setup, rounds=15)
+
+
+def _rate(kind, mode, repeats=10):
+    best = float("inf")
+    for _ in range(repeats):
+        pipe = build(kind, mode)
+        started = time.perf_counter()
+        run_engine(pipe)
+        best = min(best, time.perf_counter() - started)
+    return ITEMS / best
+
+
+def test_wrapper_cost_series():
+    print("\n--- Figure 7: wrapper cost (items/s) ---")
+    rows = {}
+    for kind in ("producer", "consumer", "function"):
+        rows[kind] = {mode: _rate(kind, mode) for mode in ("push", "pull")}
+        print(f"{kind:10} push={rows[kind]['push']:>10.0f}  "
+              f"pull={rows[kind]['pull']:>10.0f}")
+
+    # the wrapped direction is slower than the natural one
+    assert rows["producer"]["pull"] > rows["producer"]["push"]
+    assert rows["consumer"]["push"] > rows["consumer"]["pull"]
+    # the function style is cheap in both modes: within 2x of the best
+    best = max(max(r.values()) for r in rows.values())
+    assert min(rows["function"].values()) > best / 2

@@ -1,0 +1,65 @@
+"""Figure 9: throughput of the eight configurations.
+
+The fewer coroutines the middleware needs (a,b,c: one; d,g,h: two; e,f:
+three), the cheaper each item — automatic thread minimization is a
+performance feature, not just bookkeeping.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import make_fig9_pipeline, run_engine
+from repro import allocate
+
+ITEMS = 64
+
+EXPECTED_COROUTINES = {
+    "a": 1, "b": 1, "c": 1, "d": 2, "e": 3, "f": 3, "g": 2, "h": 2,
+}
+
+
+@pytest.mark.parametrize("key", sorted(EXPECTED_COROUTINES))
+def test_bench_fig9_config(benchmark, key):
+    def setup():
+        pipe, sink = make_fig9_pipeline(key, ITEMS)
+        return (pipe,), {}
+
+    benchmark.pedantic(run_engine, setup=setup, rounds=20)
+
+
+def _items_per_second(key, repeats=15):
+    best = float("inf")
+    for _ in range(repeats):
+        pipe, sink = make_fig9_pipeline(key, ITEMS)
+        started = time.perf_counter()
+        run_engine(pipe)
+        best = min(best, time.perf_counter() - started)
+    return ITEMS / best
+
+
+def test_fig9_direct_call_configs_are_fastest():
+    rates = {key: _items_per_second(key) for key in EXPECTED_COROUTINES}
+
+    print("\n--- Figure 9: coroutine count vs throughput ---")
+    print(f"{'config':6} {'coroutines':>10} {'items/s':>12}")
+    for key in sorted(rates):
+        print(f"{key:6} {EXPECTED_COROUTINES[key]:>10} {rates[key]:>12.0f}")
+
+    def mean(group):
+        return sum(rates[k] for k in group) / len(group)
+
+    one = mean(["a", "b", "c"])
+    two = mean(["d", "g", "h"])
+    three = mean(["e", "f"])
+    print(f"group means: 1 coroutine={one:.0f}/s, 2={two:.0f}/s, "
+          f"3={three:.0f}/s")
+
+    # Paper's shape: each extra coroutine costs throughput.
+    assert one > two > three
+
+
+def test_fig9_counts_still_hold():
+    for key, expected in EXPECTED_COROUTINES.items():
+        pipe, _ = make_fig9_pipeline(key, 4)
+        assert allocate(pipe).sections[0].coroutine_count == expected

@@ -1,0 +1,104 @@
+"""Section 4's workload claim: thread minimization matters most for many
+small items ("such as a MIDI mixer").
+
+Compares the middleware's automatic allocation (all direct calls) against
+a forced thread-per-component build on the same 4-channel MIDI mix, and
+shows the gap *grows* with the event rate.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ActiveComponent,
+    CollectSink,
+    Engine,
+    GreedyPump,
+    MapFilter,
+    MergeTee,
+    Pipeline,
+    connect,
+)
+from repro.media import MidiSource
+
+CHANNELS = 4
+
+
+def _transpose(event):
+    return type(event)(
+        seq=event.seq, channel=event.channel,
+        note=min(108, event.note + 12), velocity=event.velocity,
+        pts=event.pts,
+    )
+
+
+class _ActiveTranspose(ActiveComponent):
+    def run(self):
+        while True:
+            event = yield self.pull()
+            yield self.push(_transpose(event))
+
+
+def build(per_component_threads: bool, events: int):
+    sources = [MidiSource(events=events, channel=c, seed=7)
+               for c in range(CHANNELS)]
+    pumps = [GreedyPump() for _ in range(CHANNELS)]
+    merge = MergeTee(CHANNELS)
+    stages = [
+        _ActiveTranspose() if per_component_threads
+        else MapFilter(_transpose)
+        for _ in range(CHANNELS)
+    ]
+    sink = CollectSink()
+    pipe = Pipeline(sources + pumps + stages + [merge, sink])
+    for index in range(CHANNELS):
+        connect(sources[index].out_port, pumps[index].in_port)
+        connect(pumps[index].out_port, stages[index].in_port)
+        connect(stages[index].out_port, merge.port(f"in{index}"))
+    connect(merge.out_port, sink.in_port)
+    return pipe, sink
+
+
+def run(per_component_threads: bool, events: int):
+    pipe, sink = build(per_component_threads, events)
+    engine = Engine(pipe)
+    started = time.perf_counter()
+    engine.start()
+    engine.run()
+    elapsed = time.perf_counter() - started
+    return elapsed, engine.stats, len(sink.items)
+
+
+@pytest.mark.parametrize("per_component", [False, True],
+                         ids=["automatic", "thread-per-component"])
+def test_bench_midi_mix(benchmark, per_component):
+    def setup():
+        pipe, _ = build(per_component, events=200)
+        engine = Engine(pipe)
+        return (engine,), {}
+
+    def target(engine):
+        engine.start()
+        engine.run()
+
+    benchmark.pedantic(target, setup=setup, rounds=10)
+
+
+def test_thread_per_component_overhead_grows_with_event_rate():
+    print("\n--- section 4: MIDI mixer, automatic vs thread/component ---")
+    print(f"{'events/channel':>14} {'auto (s)':>10} {'per-comp (s)':>13} "
+          f"{'slowdown':>9} {'ctx switches':>13}")
+    slowdowns = []
+    for events in (100, 400, 1600):
+        auto_t, auto_stats, n1 = run(False, events)
+        per_t, per_stats, n2 = run(True, events)
+        assert n1 == n2
+        slowdown = per_t / auto_t
+        slowdowns.append(slowdown)
+        print(f"{events:>14} {auto_t:>10.4f} {per_t:>13.4f} "
+              f"{slowdown:>8.1f}x {per_stats.context_switches:>13}")
+        # thread-per-component always pays more context switches
+        assert per_stats.context_switches > auto_stats.context_switches * 2
+    # and is slower in wall time at every scale
+    assert all(s > 1.2 for s in slowdowns)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""A MIDI mixer: many small items, where thread minimization matters.
+
+Section 4: "the approach that we have presented in which threads and
+coroutines are introduced only when necessary is mostly important for
+pipelines that handle many control events or many small data items such as
+a MIDI mixer.  For these applications ... allocating a thread for each
+pipeline component would introduce a significant context switching
+overhead."
+
+Four MIDI channels are merged (arrival order), transposed, gated by a
+velocity filter, and collected.  Two configurations process the identical
+workload:
+
+* the middleware's automatic allocation — every transform is consumer- or
+  function-style in push mode, so everything is a direct call;
+* a deliberately worst-case build where each transform is an active object,
+  forcing a coroutine (and a user-level thread) per stage.
+"""
+
+import time
+
+from repro import (
+    ActiveComponent,
+    CollectSink,
+    Engine,
+    GreedyPump,
+    MapFilter,
+    MergeTee,
+    Pipeline,
+    PredicateFilter,
+    connect,
+)
+from repro.media import MidiSource
+
+CHANNELS = 4
+EVENTS_PER_CHANNEL = 500
+
+
+def transpose(event):
+    return type(event)(
+        seq=event.seq, channel=event.channel,
+        note=min(108, event.note + 12), velocity=event.velocity,
+        pts=event.pts,
+    )
+
+
+class ActiveTranspose(ActiveComponent):
+    def run(self):
+        while True:
+            event = yield self.pull()
+            yield self.push(transpose(event))
+
+
+class ActiveVelocityGate(ActiveComponent):
+    def run(self):
+        while True:
+            event = yield self.pull()
+            if event.velocity >= 16:
+                yield self.push(event)
+
+
+def build(per_component_threads: bool):
+    sources = [MidiSource(events=EVENTS_PER_CHANNEL, channel=c, seed=7)
+               for c in range(CHANNELS)]
+    pumps = [GreedyPump() for _ in range(CHANNELS)]
+    merge = MergeTee(CHANNELS)
+    if per_component_threads:
+        # Active-object stages force one coroutine each -- but active
+        # stages may not sit below a merge (shared segment), so they go on
+        # the per-channel paths, one pair per channel.
+        stages = [(ActiveTranspose(), ActiveVelocityGate())
+                  for _ in range(CHANNELS)]
+    else:
+        stages = [
+            (MapFilter(transpose),
+             PredicateFilter(lambda e: e.velocity >= 16))
+            for _ in range(CHANNELS)
+        ]
+    sink = CollectSink()
+    components = (
+        sources + pumps + [merge, sink]
+        + [s for pair in stages for s in pair]
+    )
+    pipe = Pipeline(components)
+    for index in range(CHANNELS):
+        trans, gate = stages[index]
+        connect(sources[index].out_port, pumps[index].in_port)
+        connect(pumps[index].out_port, trans.in_port)
+        connect(trans.out_port, gate.in_port)
+        connect(gate.out_port, merge.port(f"in{index}"))
+    connect(merge.out_port, sink.in_port)
+    return pipe, sink
+
+
+def run(per_component_threads: bool):
+    pipe, sink = build(per_component_threads)
+    engine = Engine(pipe)
+    started = time.perf_counter()
+    engine.start()
+    engine.run()
+    elapsed = time.perf_counter() - started
+    stats = engine.stats
+    return {
+        "events": len(sink.items),
+        "threads": len(engine.scheduler.threads),
+        "context_switches": stats.context_switches,
+        "coroutine_switches": stats.coroutine_switches,
+        "wall_seconds": elapsed,
+    }
+
+
+def main() -> None:
+    total = CHANNELS * EVENTS_PER_CHANNEL
+    print(f"mixing {CHANNELS} channels x {EVENTS_PER_CHANNEL} events "
+          f"({total} MIDI events)\n")
+    automatic = run(per_component_threads=False)
+    per_stage = run(per_component_threads=True)
+
+    header = (f"{'configuration':28} {'threads':>7} {'ctx switches':>12} "
+              f"{'coroutine hops':>14} {'wall time':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, r in (("automatic (direct calls)", automatic),
+                    ("thread per component", per_stage)):
+        print(f"{name:28} {r['threads']:>7} {r['context_switches']:>12} "
+              f"{r['coroutine_switches']:>14} {r['wall_seconds']:>9.3f}s")
+
+    ratio = per_stage["context_switches"] / max(1, automatic["context_switches"])
+    print(f"\ncontext-switch inflation from thread-per-component: "
+          f"{ratio:.1f}x on the same {automatic['events']}-event output")
+
+
+if __name__ == "__main__":
+    main()

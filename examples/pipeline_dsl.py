@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The composition microlanguage and live restructuring.
+
+The paper plans an "Infopipe Composition and Restructuring Microlanguage"
+(ref [24]) to replace the C++ setup interface.  This example builds a
+branching surveillance pipeline from a textual description, runs it, then
+*restructures* it: the running (paused) pipeline's key-frame filter is
+swapped for a stricter one, without rebuilding anything.
+"""
+
+from repro import Engine, MapFilter, PredicateFilter, allocate
+from repro.lang import build, default_registry
+from repro.runtime.restructure import replace_component
+
+DESCRIPTION = """
+# producer: a synthetic camera at 30 Hz, decoded once for everyone
+camera(rate_hz=30, max_items=300) >> decoder >> tee(2) : t
+
+# branch 1: the live view
+t.out0 >> display : live
+
+# branch 2: key frames only, reviewed at 5 Hz
+t.out1 >> keep_kind("I") : keyframes
+keyframes >> buffer(32) >> clocked_pump(5) >> collect : recorder
+"""
+
+
+def main() -> None:
+    registry = default_registry()
+    result = build(DESCRIPTION, registry=registry)
+    print("components:",
+          ", ".join(c.name for c in result.pipeline.components))
+    print()
+    print(allocate(result.pipeline).report())
+    print()
+
+    engine = Engine(result.pipeline)
+    engine.start()
+    engine.run(until=5.0)
+
+    live, recorder = result["live"], result["recorder"]
+    print(f"t=5s: live={live.stats['displayed']} frames, "
+          f"recorded={len(recorder.items)} key frames")
+
+    # Restructure: record *nothing* for a while (swap in a closed filter).
+    engine.send_event("pause")
+    engine.run(max_steps=100_000)
+    old_filter = result["keyframes"]
+    block_everything = PredicateFilter(lambda f: False, name="blackout")
+    replace_component(engine, old_filter, block_everything)
+    print("swapped key-frame filter for a blackout filter while paused")
+
+    engine.send_event("resume")
+    engine.run(until=8.0)
+    frozen = len(recorder.items)
+    print(f"t=8s: recorded={frozen} (unchanged during blackout)")
+
+    # And swap back to recording everything decoded.
+    engine.send_event("pause")
+    engine.run(max_steps=100_000)
+    replace_component(engine, block_everything,
+                      MapFilter(lambda f: f, name="record-all"))
+    engine.send_event("resume")
+    engine.run()
+    engine.stop()
+    engine.run(max_steps=100_000)
+    print(f"final: live={live.stats['displayed']}, "
+          f"recorded={len(recorder.items)} "
+          f"(> {frozen} again after the second swap)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A surveillance tool: one camera flow split to live view and recording.
+
+Section 2.1: "developers of video on demand, video conferencing, and
+surveillance tools all can use any available video codec components" — the
+same MpegDecoder and VideoDisplay from the quickstart are reused here, in a
+branching pipeline:
+
+    camera -> decoder -> multicast tee -> live display
+                                       -> motion filter -> recorder buffer
+                                                -> review pump -> recorder
+
+The motion branch keeps only "interesting" frames (here: I frames standing
+in for scene changes), decoupled by a buffer so the recorder can run at its
+own pace.  A control broadcast pauses and resumes the whole installation.
+"""
+
+from repro import (
+    Buffer,
+    ClockedPump,
+    CollectSink,
+    Engine,
+    MulticastTee,
+    PredicateFilter,
+    connect,
+)
+from repro.core.typespec import Typespec
+from repro.media import CameraSource, MpegDecoder, VideoDisplay
+
+
+def main() -> None:
+    camera = CameraSource(rate_hz=30, max_items=240)
+    decoder = MpegDecoder(share_references=False)
+    tee = MulticastTee(2)
+    live = VideoDisplay(name="live-view")
+    motion = PredicateFilter(lambda f: f.kind == "I", name="motion-filter")
+    record_buffer = Buffer(capacity=32, name="record-buffer")
+    review_pump = ClockedPump(5, name="review-pump")  # recorder runs at 5 Hz
+    recorder = CollectSink(name="recorder", input_spec=Typespec())
+
+    pipe = camera >> decoder >> tee
+    connect(tee.port("out0"), live.in_port)
+    pipe.connect(tee.port("out1"), motion.in_port)
+    pipe.connect(motion.out_port, record_buffer.in_port)
+    pipe.connect(record_buffer.out_port, review_pump.in_port)
+    pipe.connect(review_pump.out_port, recorder.in_port)
+
+    engine = Engine(pipe)
+    engine.start()
+    engine.run(until=4.0)
+
+    print(f"after 4s: live={live.stats['displayed']} frames, "
+          f"recorded={len(recorder.items)} key frames")
+
+    # The operator pauses the installation...
+    engine.send_event("pause")
+    engine.run(until=6.0)
+    paused_live = live.stats["displayed"]
+    print(f"after pause at 4s (now 6s): live={paused_live} (unchanged)")
+
+    # ... and resumes it.
+    engine.send_event("resume")
+    engine.run()
+    engine.stop()
+    engine.run(max_steps=100_000)
+
+    print(f"final: live={live.stats['displayed']} frames, "
+          f"recorded={len(recorder.items)} key frames "
+          f"(all I frames: {all(f.kind == 'I' for f in recorder.items)})")
+    print(f"dropped by motion filter: {motion.stats['dropped']}")
+    print()
+    print(engine.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Command-line runner for Infopipe descriptions.
+
+::
+
+    python -m repro describe "counting(limit=5) >> greedy_pump >> collect"
+    python -m repro run pipeline.ipc --until 10
+    python -m repro components
+
+``describe`` prints the thread/coroutine allocation the middleware chose;
+``run`` executes the pipeline on the virtual clock and prints statistics;
+``components`` lists the factory names usable in descriptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import Engine, allocate
+from repro.errors import InfopipeError
+from repro.lang import build, default_registry
+
+
+def _load_source(value: str) -> str:
+    path = pathlib.Path(value)
+    if path.exists():
+        return path.read_text()
+    return value
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    result = build(_load_source(args.pipeline))
+    plan = allocate(result.pipeline)
+    print(plan.report())
+    print()
+    sinks = result.pipeline.sinks()
+    if len(sinks) == 1:
+        print("end-to-end flow:", result.pipeline.end_to_end_typespec())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = build(_load_source(args.pipeline))
+    engine = Engine(result.pipeline, backend=args.backend)
+    engine.start()
+    engine.run(until=args.until, max_steps=args.max_steps)
+    if args.until is not None:
+        engine.stop()
+        engine.run(max_steps=args.max_steps or 1_000_000)
+    print(engine.stats.summary())
+    return 0
+
+
+def cmd_components(args: argparse.Namespace) -> int:
+    for name in sorted(default_registry().names()):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and inspect Infopipe pipeline descriptions.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser(
+        "describe", help="print the allocation for a description"
+    )
+    describe.add_argument("pipeline", help="description text or file path")
+    describe.set_defaults(handler=cmd_describe)
+
+    run = commands.add_parser("run", help="execute a description")
+    run.add_argument("pipeline", help="description text or file path")
+    run.add_argument("--until", type=float, default=None,
+                     help="virtual-time horizon (default: run to EOS)")
+    run.add_argument("--max-steps", type=int, default=None)
+    run.add_argument("--backend", choices=("generator", "thread"),
+                     default="generator")
+    run.set_defaults(handler=cmd_run)
+
+    components = commands.add_parser(
+        "components", help="list registered component types"
+    )
+    components.set_defaults(handler=cmd_components)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except InfopipeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

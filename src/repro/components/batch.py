@@ -1,0 +1,70 @@
+"""Batching components: the defragmenter example generalized to N:1.
+
+"While we have used a defragmenter as an example, the different ways of
+implementing components that we have described also apply to fragmenters,
+decoders, filters, and transformers" (section 3.3) — these are the N-ary
+versions, provided in both passive styles so either mode gets a direct
+call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.styles import Consumer, Producer
+
+
+class PushBatcher(Consumer):
+    """Collects ``size`` consecutive items into one tuple (push style)."""
+
+    def __init__(self, size: int, name: str | None = None):
+        if size < 1:
+            raise ValueError("batch size must be at least 1")
+        super().__init__(name)
+        self.size = size
+        self._batch: list[Any] = []
+
+    def push(self, item: Any) -> None:
+        self._batch.append(item)
+        if len(self._batch) == self.size:
+            self.put(tuple(self._batch))
+            self._batch = []
+
+
+class PullBatcher(Producer):
+    """Collects ``size`` consecutive items into one tuple (pull style)."""
+
+    def __init__(self, size: int, name: str | None = None):
+        if size < 1:
+            raise ValueError("batch size must be at least 1")
+        super().__init__(name)
+        self.size = size
+
+    def pull(self) -> Any:
+        return tuple(self.get() for _ in range(self.size))
+
+
+class PushUnbatcher(Consumer):
+    """Splits each incoming tuple back into its items (push style)."""
+
+    def push(self, batch: Any) -> None:
+        for item in batch:
+            self.put(item)
+
+
+class PullUnbatcher(Producer):
+    """Splits each incoming tuple back into its items (pull style).
+
+    This is the direction that needs explicit state — the mirror of the
+    paper's saved-state observation for the push-mode defragmenter.
+    """
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name)
+        self._pending: list[Any] = []
+
+    def pull(self) -> Any:
+        if not self._pending:
+            self._pending = list(self.get())
+            self._pending.reverse()
+        return self._pending.pop()

@@ -1,0 +1,184 @@
+"""The paper's running example: defragmenters and fragmenters in every style.
+
+A *defragmenter* "combines two data items into one.  The actual merging is
+performed by function ``y = assemble(x1, x2)``" (section 3.3).  A
+*fragmenter* is its mirror: it splits one item into two.
+
+Each is provided in three activity styles, reproducing Figures 4 and 6:
+
+* :class:`PushDefragmenter` — passive consumer (Figure 4a): ``push`` must
+  "explicitly maintain state between two invocations ... using the variable
+  saved";
+* :class:`PullDefragmenter` — passive producer (Figure 4b): straight-line
+  code, two upstream pulls per pull;
+* :class:`ActiveDefragmenter` — active object (Figure 6): a free-running
+  loop; usable in either mode through the middleware's coroutines.  A
+  blocking body is provided too, for the OS-thread backend.
+
+Whatever the style and mode, the *external activity is identical* (the
+paper's key observation about Figures 4, 6 and 8): every second push causes
+a downstream push; every pull causes two upstream pulls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.styles import (
+    ActiveComponent,
+    Consumer,
+    EndOfStream,
+    Producer,
+)
+
+
+def default_assemble(x1: Any, x2: Any) -> Any:
+    """Pair two fragments (tuple concatenation when both are tuples)."""
+    if isinstance(x1, tuple) and isinstance(x2, tuple):
+        return x1 + x2
+    return (x1, x2)
+
+
+def default_split(y: Any) -> tuple[Any, Any]:
+    """Split an item in two halves (inverse of :func:`default_assemble`
+    for pairs)."""
+    if isinstance(y, tuple) and len(y) >= 2:
+        half = len(y) // 2
+        first = y[:half] if half > 1 else y[0]
+        second = y[half:] if len(y) - half > 1 else y[half]
+        return first, second
+    raise ValueError(f"cannot split non-pair item {y!r}")
+
+
+class PushDefragmenter(Consumer):
+    """Figure 4a — push-mode passive defragmenter with explicit state."""
+
+    def __init__(
+        self,
+        assemble: Callable[[Any, Any], Any] = default_assemble,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._assemble = assemble
+        self.saved: Any = None
+
+    def push(self, item: Any) -> None:
+        if self.saved is not None:
+            y = self._assemble(self.saved, item)
+            self.saved = None
+            self.put(y)
+        else:
+            self.saved = item
+
+
+class PullDefragmenter(Producer):
+    """Figure 4b — pull-mode passive defragmenter, straight-line code."""
+
+    def __init__(
+        self,
+        assemble: Callable[[Any, Any], Any] = default_assemble,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._assemble = assemble
+
+    def pull(self) -> Any:
+        x1 = self.get()
+        x2 = self.get()
+        return self._assemble(x1, x2)
+
+
+class ActiveDefragmenter(ActiveComponent):
+    """Figure 6 — active defragmenter: one free-running loop, either mode."""
+
+    def __init__(
+        self,
+        assemble: Callable[[Any, Any], Any] = default_assemble,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._assemble = assemble
+
+    def run(self):
+        while True:
+            x1 = yield self.pull()
+            try:
+                x2 = yield self.pull()
+            except EndOfStream:
+                return  # an unpaired trailing fragment is discarded
+            yield self.push(self._assemble(x1, x2))
+
+    def run_blocking(self, api) -> None:
+        while True:
+            x1 = api.pull()
+            try:
+                x2 = api.pull()
+            except EndOfStream:
+                return
+            api.push(self._assemble(x1, x2))
+
+
+class PushFragmenter(Consumer):
+    """Push-mode passive fragmenter: the easy direction (no saved state)."""
+
+    def __init__(
+        self,
+        split: Callable[[Any], tuple[Any, Any]] = default_split,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._split = split
+
+    def push(self, item: Any) -> None:
+        first, second = self._split(item)
+        self.put(first)
+        self.put(second)
+
+
+class PullFragmenter(Producer):
+    """Pull-mode passive fragmenter: here *pull* needs the saved state
+    (the exact mirror of the paper's observation that "for a fragmenter,
+    push would be the simpler operation")."""
+
+    def __init__(
+        self,
+        split: Callable[[Any], tuple[Any, Any]] = default_split,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._split = split
+        self.saved: Any = None
+
+    def pull(self) -> Any:
+        if self.saved is not None:
+            item, self.saved = self.saved, None
+            return item
+        first, second = self._split(self.get())
+        self.saved = second
+        return first
+
+
+class ActiveFragmenter(ActiveComponent):
+    """Active fragmenter: one loop, either mode."""
+
+    def __init__(
+        self,
+        split: Callable[[Any], tuple[Any, Any]] = default_split,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._split = split
+
+    def run(self):
+        while True:
+            item = yield self.pull()
+            first, second = self._split(item)
+            yield self.push(first)
+            yield self.push(second)
+
+    def run_blocking(self, api) -> None:
+        while True:
+            item = api.pull()
+            first, second = self._split(item)
+            api.push(first)
+            api.push(second)

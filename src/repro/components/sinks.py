@@ -1,0 +1,155 @@
+"""Sinks.
+
+A passive sink is pushed into by the pump of its section; an active sink
+has its own timing and pulls — the paper's example being an audio device
+"implemented as a clock-driven active sink".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.component import Component, Role
+from repro.core.polarity import Mode
+from repro.core.styles import Style
+from repro.core.typespec import Typespec
+
+
+class Sink(Component):
+    """Base class for passive sinks (pushed into by the upstream pump)."""
+
+    role = Role.SINK
+    style = Style.CONSUMER
+    is_activity_origin = False
+
+    #: Typespec capability of this sink ("[Sinks] likewise support certain
+    #: data formats and ranges of QoS parameters").
+    input_spec: Typespec = Typespec.any()
+
+    def __init__(self, name: str | None = None, input_spec: Typespec | None = None):
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PUSH)
+        if input_spec is not None:
+            self.input_spec = input_spec
+
+    def push(self, item: Any) -> None:
+        raise NotImplementedError
+
+
+class CollectSink(Sink):
+    """Passive sink collecting items into a list (ubiquitous in tests)."""
+
+    def __init__(
+        self,
+        name: str | None = None,
+        input_spec: Typespec | None = None,
+        limit: int | None = None,
+    ):
+        super().__init__(name, input_spec)
+        self.items: list[Any] = []
+        self.limit = limit
+
+    def push(self, item: Any) -> None:
+        if self.limit is None or len(self.items) < self.limit:
+            self.items.append(item)
+
+
+class CallbackSink(Sink):
+    """Passive sink invoking ``consumer(item)`` per item."""
+
+    def __init__(
+        self,
+        consumer: Callable[[Any], None],
+        name: str | None = None,
+        input_spec: Typespec | None = None,
+    ):
+        super().__init__(name, input_spec)
+        self._consumer = consumer
+
+    def push(self, item: Any) -> None:
+        self._consumer(item)
+
+
+class NullSink(Sink):
+    """Passive sink discarding everything (counting it in ``stats``)."""
+
+    def push(self, item: Any) -> None:
+        pass
+
+
+class ActiveSink(Component):
+    """Base class for active (self-timed) sinks.
+
+    An active sink is an activity origin: its thread pulls one item per
+    tick from the upstream section and consumes it.  Subclasses override
+    :meth:`consume`.
+    """
+
+    role = Role.SINK
+    style = Style.ACTIVE
+    is_activity_origin = True
+    timing = "clocked"
+    events_handled = frozenset({"start", "stop", "pause", "resume"})
+
+    input_spec: Typespec = Typespec.any()
+
+    def __init__(
+        self,
+        rate_hz: float | None = None,
+        name: str | None = None,
+        priority: int = 0,
+        max_items: int | None = None,
+        input_spec: Typespec | None = None,
+    ):
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PULL)
+        if rate_hz is not None and rate_hz <= 0:
+            raise ValueError("sink rate must be positive")
+        self.rate_hz = rate_hz
+        self.timing = "clocked" if rate_hz is not None else "greedy"
+        self.priority = priority
+        self.max_items = max_items
+        self.running = False
+        if input_spec is not None:
+            self.input_spec = input_spec
+
+    def period(self) -> float | None:
+        return None if self.rate_hz is None else 1.0 / self.rate_hz
+
+    def consume(self, item: Any) -> None:
+        raise NotImplementedError
+
+    def on_start(self, event) -> None:
+        self.running = True
+
+    def on_stop(self, event) -> None:
+        self.running = False
+
+    def on_pause(self, event) -> None:
+        self.running = False
+
+    def on_resume(self, event) -> None:
+        self.running = True
+
+
+class ActiveCollectSink(ActiveSink):
+    """Active sink collecting items (with arrival timestamps when given a
+    clock callback)."""
+
+    def __init__(
+        self,
+        rate_hz: float | None = None,
+        name: str | None = None,
+        priority: int = 0,
+        max_items: int | None = None,
+        now: Callable[[], float] | None = None,
+    ):
+        super().__init__(rate_hz, name, priority, max_items)
+        self.items: list[Any] = []
+        self.arrivals: list[float] = []
+        self._now = now
+
+    def consume(self, item: Any) -> None:
+        self.items.append(item)
+        if self._now is not None:
+            self.arrivals.append(self._now())

@@ -1,0 +1,157 @@
+"""Tees — splitting and merging information flows (sections 2.1 and 3.3).
+
+"Splitting includes splitting an information item into parts that are sent
+different ways, copying items to each output (multicast), and selecting an
+output for each item (routing).  Merge tees can ... pass on information to
+the output in the order, in which it arrives at any input."
+
+Section 3.3 derives activity rules for multi-port components.  A
+value-routing switch cannot work in pull mode — a pull at one out-port may
+produce an item destined for the *other* out-port, leaving "a pending call
+without a reply packet and a packet nobody asked for"; to avoid such
+unpredictable implicit buffering "the Infopipe framework generally allows
+only one passive port in a non-buffering component".  The permitted
+exceptions are components where a call at any passive port flows straight
+through without ever suspending on another port:
+
+* push-mode tees (:class:`MulticastTee`, :class:`RoutingSwitch`,
+  :class:`MergeTee`) — every push completes downstream immediately;
+* the :class:`ActivityRouter` — the paper's own exception: it routes "not
+  according to the value of the packet, but based on the activity"; its
+  out-ports are both passive, the in-port is active, and it "could not
+  work in push-style".
+
+These rules are not conventions: the ports carry fixed polarities, so
+composing a tee the wrong way round fails at connect time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.component import Component, Role
+from repro.core.polarity import Mode
+from repro.core.styles import Style
+from repro.errors import PortError
+
+
+class MulticastTee(Component):
+    """Copies every pushed item to all out-ports (push-only)."""
+
+    role = Role.TEE
+    style = Style.CONSUMER
+
+    def __init__(self, n_outputs: int = 2, name: str | None = None):
+        if n_outputs < 2:
+            raise ValueError("a tee needs at least two outputs")
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PUSH)
+        self.out_names = [f"out{i}" for i in range(n_outputs)]
+        for out_name in self.out_names:
+            self.add_out_port(out_name, mode=Mode.PUSH)
+
+    def receive_push(self, item: Any, port: str = "in") -> None:
+        self.stats["items_in"] += 1
+        for out_name in self.out_names:
+            self.stats["items_out"] += 1
+            self._emitters[out_name](item)
+
+
+class RoutingSwitch(Component):
+    """Routes each pushed item to one out-port chosen by ``route``.
+
+    ``route(item)`` returns the index of the destination out-port.  The
+    switch is push-only: in pull mode a pull at one out-port could yield an
+    item routed to the *other* out-port — a pending call with no reply and
+    a packet nobody asked for — so the ports carry fixed push polarity and
+    a pull-side composition fails at connect time.
+    """
+
+    role = Role.TEE
+    style = Style.CONSUMER
+
+    def __init__(
+        self,
+        route: Callable[[Any], int],
+        n_outputs: int = 2,
+        name: str | None = None,
+    ):
+        if n_outputs < 2:
+            raise ValueError("a switch needs at least two outputs")
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PUSH)
+        self.out_names = [f"out{i}" for i in range(n_outputs)]
+        for out_name in self.out_names:
+            self.add_out_port(out_name, mode=Mode.PUSH)
+        self._route = route
+
+    def receive_push(self, item: Any, port: str = "in") -> None:
+        index = self._route(item)
+        if not 0 <= index < len(self.out_names):
+            raise PortError(
+                f"{self.name!r}: route() returned invalid output {index}"
+            )
+        self.stats["items_in"] += 1
+        self.stats["items_out"] += 1
+        self._emitters[self.out_names[index]](item)
+
+
+class MergeTee(Component):
+    """Arrival-order merge: pushes at any in-port flow straight to the
+    out-port (push-only; all in-ports passive — a permitted exception to
+    the one-passive-port rule because no call ever suspends waiting for
+    another port)."""
+
+    role = Role.TEE
+    style = Style.CONSUMER
+
+    def __init__(self, n_inputs: int = 2, name: str | None = None):
+        if n_inputs < 2:
+            raise ValueError("a merge needs at least two inputs")
+        super().__init__(name)
+        self.in_names = [f"in{i}" for i in range(n_inputs)]
+        for in_name in self.in_names:
+            self.add_in_port(in_name, mode=Mode.PUSH)
+        self.add_out_port(mode=Mode.PUSH)
+        self.stats["per_input"] = {n: 0 for n in self.in_names}
+
+    def receive_push(self, item: Any, port: str = "in0") -> None:
+        if port not in self.stats["per_input"]:
+            raise PortError(f"{self.name!r} has no in-port {port!r}")
+        self.stats["items_in"] += 1
+        self.stats["per_input"][port] += 1
+        self.stats["items_out"] += 1
+        self._emitters["out"](item)
+
+
+class ActivityRouter(Component):
+    """The paper's activity-based switch: "A pull on either out-port
+    triggers an upstream pull and returns the item to the caller.  In this
+    case, the out-ports must both be passive and the in-port must be
+    active.  This component could not work in push-style."
+
+    Each downstream section pulls items on demand; which consumer gets
+    which item is decided purely by who pulls first.
+    """
+
+    role = Role.TEE
+    style = Style.PRODUCER
+
+    def __init__(self, n_outputs: int = 2, name: str | None = None):
+        if n_outputs < 2:
+            raise ValueError("a router needs at least two outputs")
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PULL)
+        self.out_names = [f"out{i}" for i in range(n_outputs)]
+        for out_name in self.out_names:
+            self.add_out_port(out_name, mode=Mode.PULL)
+        self.stats["per_output"] = {n: 0 for n in self.out_names}
+
+    def serve_pull(self, port: str = "out0") -> Any:
+        if port not in self.stats["per_output"]:
+            raise PortError(f"{self.name!r} has no out-port {port!r}")
+        item = self._intakes["in"]()
+        self.stats["items_in"] += 1
+        self.stats["items_out"] += 1
+        self.stats["per_output"][port] += 1
+        return item

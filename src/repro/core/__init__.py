@@ -1,0 +1,71 @@
+"""The Infopipe abstraction (sections 2 and 3 of the paper).
+
+This package defines what an Infopipe *is* — components with typed, polarized
+ports, composed into pipelines with the ``>>`` operator — and how the
+middleware decides, from the high-level configuration alone, which parts of a
+pipeline need threads or coroutines (:mod:`repro.core.glue`).
+
+Execution lives in :mod:`repro.runtime`; ready-made components live in
+:mod:`repro.components`.
+"""
+
+from repro.core.component import Component, Port, Role
+from repro.core.composition import Pipeline, connect, pipeline
+from repro.core.events import (
+    EOS,
+    EVENT_PRIORITY,
+    Event,
+    EventScope,
+    EventService,
+    is_eos,
+)
+from repro.core.glue import AllocationPlan, SectionPlan, StagePlan, allocate
+from repro.core.items import NIL, is_nil
+from repro.core.polarity import Mode, Polarity
+from repro.core.styles import (
+    ActiveComponent,
+    Consumer,
+    EndOfStream,
+    FunctionComponent,
+    Producer,
+    PullOp,
+    PushOp,
+    Style,
+)
+from repro.core.typespec import ANY, Choices, Interval, Typespec, props
+
+__all__ = [
+    "ANY",
+    "ActiveComponent",
+    "AllocationPlan",
+    "Choices",
+    "Component",
+    "Consumer",
+    "EOS",
+    "EVENT_PRIORITY",
+    "EndOfStream",
+    "Event",
+    "EventScope",
+    "EventService",
+    "FunctionComponent",
+    "Interval",
+    "Mode",
+    "NIL",
+    "Pipeline",
+    "Polarity",
+    "Port",
+    "Producer",
+    "PullOp",
+    "PushOp",
+    "Role",
+    "SectionPlan",
+    "StagePlan",
+    "Style",
+    "Typespec",
+    "allocate",
+    "connect",
+    "is_eos",
+    "is_nil",
+    "pipeline",
+    "props",
+]

@@ -1,0 +1,42 @@
+"""Information items.
+
+The framework transports arbitrary Python objects as information items.  Two
+distinguished sentinels exist:
+
+* :data:`NIL` — returned by a non-blocking pull on an empty buffer whose
+  empty-policy is *nil* (paper section 2.3: "if a buffer is empty, a pull
+  operation can either be blocked or return a nil item").
+* :data:`~repro.core.events.EOS` — an end-of-stream marker that flows
+  through a pipeline after a finite source is exhausted (defined alongside
+  the other control machinery in :mod:`repro.core.events`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _Nil:
+    """Singleton nil item."""
+
+    _instance: "_Nil | None" = None
+
+    def __new__(cls) -> "_Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NIL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The nil item.
+NIL = _Nil()
+
+
+def is_nil(item: Any) -> bool:
+    """True when ``item`` is the nil sentinel."""
+    return item is NIL

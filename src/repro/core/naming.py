@@ -1,0 +1,31 @@
+"""Unique, human-readable names for components and threads."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import defaultdict
+
+_counters: defaultdict[str, itertools.count] = defaultdict(lambda: itertools.count(1))
+
+
+def fresh_name(prefix: str) -> str:
+    """Return a unique name like ``"mpeg-decoder-2"``.
+
+    Prefixes are normalized from CamelCase class names to kebab-case, so
+    ``MpegDecoder`` yields ``mpeg-decoder-1``, ``mpeg-decoder-2``, ...
+    """
+    slug = camel_to_kebab(prefix)
+    return f"{slug}-{next(_counters[slug])}"
+
+
+def camel_to_kebab(name: str) -> str:
+    """``"MpegFileSource"`` -> ``"mpeg-file-source"``."""
+    step = re.sub(r"(.)([A-Z][a-z]+)", r"\1-\2", name)
+    step = re.sub(r"([a-z0-9])([A-Z])", r"\1-\2", step)
+    return step.replace("_", "-").lower()
+
+
+def reset_counters() -> None:
+    """Forget all counters (used by tests for stable names)."""
+    _counters.clear()

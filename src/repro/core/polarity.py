@@ -1,0 +1,94 @@
+"""Port polarity and interaction mode.
+
+Paper, section 2.3: "Activity is represented in the Typespec by assigning
+each port a positive or negative polarity.  A positive out-port will make
+calls to push, while a negative out-port has the ability to receive a pull.
+Correspondingly, a positive in-port will make calls to pull, while a
+negative in-port represents the willingness to receive a push.  With this
+representation, ports with opposite polarity may be connected, but an
+attempt to connect two ports with the same polarity is an error."
+
+Polymorphic components (filters and filter chains) carry the polymorphic
+polarity "α → α": once one end is connected to a fixed-polarity port, the
+other end acquires an *induced* polarity.
+
+Internally the framework reasons in terms of the **mode** of a connection —
+PUSH (items travel by push calls) or PULL (by pull calls) — because a
+connection always has exactly one mode, and the polarity of each port
+follows mechanically from (direction, mode):
+
+====================  ==========  ==========
+port                  PUSH mode   PULL mode
+====================  ==========  ==========
+out-port              positive    negative
+in-port               negative    positive
+====================  ==========  ==========
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Polarity(enum.Enum):
+    """Polarity of a port; POLY is the paper's α."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+    POLY = "α"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def fixed(self) -> bool:
+        return self is not Polarity.POLY
+
+    def opposite(self) -> "Polarity":
+        if self is Polarity.POSITIVE:
+            return Polarity.NEGATIVE
+        if self is Polarity.NEGATIVE:
+            return Polarity.POSITIVE
+        return Polarity.POLY
+
+
+class Direction(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+class Mode(enum.Enum):
+    """The interaction mode of a connection (or of a port on it)."""
+
+    PUSH = "push"
+    PULL = "pull"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def polarity_for(direction: Direction, mode: Mode | None) -> Polarity:
+    """Polarity of a port with the given direction on a connection of the
+    given mode (POLY when the mode is still unresolved)."""
+    if mode is None:
+        return Polarity.POLY
+    if direction is Direction.OUT:
+        return Polarity.POSITIVE if mode is Mode.PUSH else Polarity.NEGATIVE
+    return Polarity.NEGATIVE if mode is Mode.PUSH else Polarity.POSITIVE
+
+
+def mode_for(direction: Direction, polarity: Polarity) -> Mode | None:
+    """Inverse of :func:`polarity_for`."""
+    if not polarity.fixed:
+        return None
+    if direction is Direction.OUT:
+        return Mode.PUSH if polarity is Polarity.POSITIVE else Mode.PULL
+    return Mode.PUSH if polarity is Polarity.NEGATIVE else Mode.PULL
+
+
+def compatible(out_polarity: Polarity, in_polarity: Polarity) -> bool:
+    """May an out-port with ``out_polarity`` connect to an in-port with
+    ``in_polarity``?  Fixed polarities must be opposite; POLY matches all."""
+    if not out_polarity.fixed or not in_polarity.fixed:
+        return True
+    return out_polarity is not in_polarity

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the Infopipes middleware.
+
+All framework errors derive from :class:`InfopipeError`, so applications can
+catch middleware failures with a single ``except`` clause while still being
+able to distinguish composition-time problems (raised while a pipeline is
+being wired up) from run-time problems (raised while data is flowing).
+"""
+
+from __future__ import annotations
+
+
+class InfopipeError(Exception):
+    """Base class of every error raised by the framework."""
+
+
+# ---------------------------------------------------------------------------
+# Composition-time errors
+# ---------------------------------------------------------------------------
+
+class CompositionError(InfopipeError):
+    """A pipeline could not be assembled from the given components."""
+
+
+class PolarityError(CompositionError):
+    """Two ports with the same fixed polarity were connected.
+
+    The paper (section 2.3): "ports with opposite polarity may be connected,
+    but an attempt to connect two ports with the same polarity is an error".
+    """
+
+
+class TypespecMismatch(CompositionError):
+    """The Typespecs on either side of a connection have no common flow."""
+
+    def __init__(self, message: str, conflicts: dict | None = None):
+        super().__init__(message)
+        #: Mapping of property name -> (left value, right value) for every
+        #: property whose intersection was empty.
+        self.conflicts = dict(conflicts or {})
+
+
+class PortError(CompositionError):
+    """A port was used incorrectly (already connected, unknown name, ...)."""
+
+
+class AllocationError(CompositionError):
+    """The glue layer could not assign threads/coroutines to a pipeline.
+
+    Typical causes: a pipeline section without any pump or active endpoint,
+    a section with two competing activity origins, or a multi-port component
+    used in a mode its activity rules forbid (section 3.3).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Run-time errors
+# ---------------------------------------------------------------------------
+
+class RuntimeFault(InfopipeError):
+    """Base class for errors raised while a pipeline is running."""
+
+
+class SchedulerError(RuntimeFault):
+    """The user-level thread scheduler detected an inconsistency."""
+
+
+class DeadlockError(SchedulerError):
+    """No thread is runnable but work remains outstanding."""
+
+
+class ChannelClosed(RuntimeFault):
+    """A push or pull was attempted on a terminated pipeline section."""
+
+
+class MarshalError(RuntimeFault):
+    """An item could not be encoded to, or decoded from, the wire format."""
+
+
+class RemoteError(RuntimeFault):
+    """A remote factory or binding operation failed."""
+
+
+class FeedbackError(RuntimeFault):
+    """A feedback loop was mis-configured (unknown sensor/actuator, ...)."""

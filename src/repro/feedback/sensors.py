@@ -1,0 +1,96 @@
+"""Sensors: periodic measurements of pipeline state."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.components.buffers import Buffer
+from repro.core.component import Component
+
+
+class Sensor:
+    """Base class: ``sample()`` returns the current measurement."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+
+class BufferFillSensor(Sensor):
+    """Fill fraction (0..1) of a buffer — the classic real-rate signal
+    (Steere et al. [27]: "adjust CPU allocations among pipeline stages
+    according to feedback from buffer fill levels")."""
+
+    def __init__(self, buffer: Buffer):
+        self.buffer = buffer
+
+    def sample(self) -> float:
+        return self.buffer.fill_fraction
+
+
+class RateSensor(Sensor):
+    """Items/second through a component since the previous sample."""
+
+    def __init__(self, component: Component, counter: str = "items_out",
+                 now: Callable[[], float] | None = None):
+        self.component = component
+        self.counter = counter
+        self._now = now
+        self._last_count = 0
+        self._last_time: float | None = None
+
+    def sample(self) -> float:
+        count = self.component.stats.get(self.counter, 0)
+        if self._now is None:
+            # Without a clock, report the raw delta per sample period.
+            delta = count - self._last_count
+            self._last_count = count
+            return float(delta)
+        now = self._now()
+        if self._last_time is None or now <= self._last_time:
+            rate = 0.0
+        else:
+            rate = (count - self._last_count) / (now - self._last_time)
+        self._last_count = count
+        self._last_time = now
+        return rate
+
+
+class LossSensor(Sensor):
+    """Observed loss fraction from sequence-number gaps.
+
+    Feed it arriving sequence numbers (e.g. from a consumer-side component
+    via ``observe``); each ``sample()`` reports the loss fraction since the
+    previous sample.  This is the Figure-1 consumer-side sensor.
+    """
+
+    def __init__(self):
+        self._highest = -1
+        self._received = 0
+        self._window_expected = 0
+        self._window_received = 0
+
+    def observe(self, seq: int) -> None:
+        if seq > self._highest:
+            self._window_expected += seq - self._highest
+            self._highest = seq
+        self._received += 1
+        self._window_received += 1
+
+    def sample(self) -> float:
+        expected = self._window_expected
+        received = self._window_received
+        self._window_expected = 0
+        self._window_received = 0
+        if expected <= 0:
+            return 0.0
+        return max(0.0, 1.0 - received / expected)
+
+
+class CallbackSensor(Sensor):
+    """Wraps any zero-argument callable as a sensor."""
+
+    def __init__(self, fn: Callable[[], float]):
+        self._fn = fn
+
+    def sample(self) -> float:
+        return float(self._fn())

@@ -1,0 +1,237 @@
+"""Tokenizer and parser for the composition microlanguage."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.errors import CompositionError
+
+
+class LangError(CompositionError):
+    """A pipeline description could not be parsed or resolved."""
+
+
+# ---------------------------------------------------------------- AST
+
+
+@dataclass(frozen=True)
+class FactoryCall:
+    """``name(arg, key=value, ...) [: alias]``"""
+
+    name: str
+    args: tuple = ()
+    kwargs: tuple = ()  # of (key, value) pairs
+    alias: str | None = None
+    line: int = 0
+
+    def kwargs_dict(self) -> dict:
+        return dict(self.kwargs)
+
+
+@dataclass(frozen=True)
+class Reference:
+    """``alias`` or ``alias.port``"""
+
+    alias: str
+    port: str | None = None
+    line: int = 0
+
+
+Endpoint = Union[FactoryCall, Reference]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One ``a >> b >> c`` statement."""
+
+    endpoints: tuple
+    line: int = 0
+
+
+# ---------------------------------------------------------------- tokens
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<arrow>>>)
+  | (?P<float>-?\d+\.\d+)
+  | (?P<int>-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_-]*)
+  | (?P<punct>[():,.=;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            snippet = source[position:position + 10]
+            raise LangError(f"line {line}: cannot read {snippet!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            continue
+        if kind == "newline":
+            tokens.append(_Token("newline", "\n", line))
+            line += 1
+            continue
+        tokens.append(_Token(kind, match.group(), line))
+    tokens.append(_Token("end", "", line))
+    return tokens
+
+
+# ---------------------------------------------------------------- parser
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise LangError(
+                f"line {token.line}: expected {want!r}, got {token.text!r}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------
+
+    def parse(self) -> list[Chain]:
+        chains: list[Chain] = []
+        while True:
+            self._skip_separators()
+            if self.peek().kind == "end":
+                return chains
+            chains.append(self._chain())
+
+    def _skip_separators(self) -> None:
+        while self.peek().kind == "newline" or (
+            self.peek().kind == "punct" and self.peek().text == ";"
+        ):
+            self.advance()
+
+    def _chain(self) -> Chain:
+        first = self._endpoint()
+        endpoints = [first]
+        while self.peek().kind == "arrow":
+            self.advance()
+            # allow a line break after ">>"
+            while self.peek().kind == "newline":
+                self.advance()
+            endpoints.append(self._endpoint())
+        token = self.peek()
+        if token.kind not in ("newline", "end") and not (
+            token.kind == "punct" and token.text == ";"
+        ):
+            raise LangError(
+                f"line {token.line}: unexpected {token.text!r} after chain"
+            )
+        return Chain(tuple(endpoints), line=first.line)
+
+    def _endpoint(self) -> Endpoint:
+        token = self.expect("name")
+        name, line = token.text, token.line
+        # alias.port reference
+        if self.peek().kind == "punct" and self.peek().text == ".":
+            self.advance()
+            port = self.expect("name").text
+            return Reference(alias=name, port=port, line=line)
+        args: tuple = ()
+        kwargs: tuple = ()
+        called = False
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            called = True
+            args, kwargs = self._arguments()
+        alias = None
+        if self.peek().kind == "punct" and self.peek().text == ":":
+            self.advance()
+            alias = self.expect("name").text
+        if not called and alias is None:
+            # Bare name: a factory with no arguments, or a reference to an
+            # existing alias — the builder disambiguates.
+            return FactoryCall(name=name, line=line)
+        return FactoryCall(name=name, args=args, kwargs=kwargs, alias=alias,
+                           line=line)
+
+    def _arguments(self) -> tuple:
+        self.expect("punct", "(")
+        args: list = []
+        kwargs: list = []
+        if self.peek().kind == "punct" and self.peek().text == ")":
+            self.advance()
+            return (), ()
+        while True:
+            if (
+                self.peek().kind == "name"
+                and self._tokens[self._index + 1].kind == "punct"
+                and self._tokens[self._index + 1].text == "="
+            ):
+                key = self.advance().text
+                self.advance()  # '='
+                kwargs.append((key, self._literal()))
+            else:
+                args.append(self._literal())
+            token = self.advance()
+            if token.kind == "punct" and token.text == ")":
+                return tuple(args), tuple(kwargs)
+            if not (token.kind == "punct" and token.text == ","):
+                raise LangError(
+                    f"line {token.line}: expected ',' or ')', got "
+                    f"{token.text!r}"
+                )
+
+    def _literal(self) -> Any:
+        token = self.advance()
+        if token.kind == "int":
+            return int(token.text)
+        if token.kind == "float":
+            return float(token.text)
+        if token.kind == "string":
+            body = token.text[1:-1]
+            return body.replace('\\"', '"').replace("\\'", "'")
+        if token.kind == "name":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            raise LangError(
+                f"line {token.line}: {token.text!r} is not a literal "
+                "(quote strings)"
+            )
+        raise LangError(
+            f"line {token.line}: expected a literal, got {token.text!r}"
+        )
+
+
+def parse(source: str) -> list[Chain]:
+    """Parse a pipeline description into chains of endpoints."""
+    return _Parser(_tokenize(source)).parse()

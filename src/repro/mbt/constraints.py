@@ -1,0 +1,70 @@
+"""Scheduling constraints attached to messages.
+
+The paper's thread package supports "scheduling control by attaching
+priorities to threads as well as by attaching constraints to messages.  In
+the latter case, the effective priority of a thread is derived by the
+scheduler from the constraint of the message that the thread is currently
+processing or, if the thread is waiting for the CPU, on the constraint of the
+first message in its incoming queue."
+
+A :class:`Constraint` carries a priority (larger is more urgent) and an
+optional deadline in scheduler time.  Deadlines break priority ties: an
+earlier deadline wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """Urgency attached to a message.
+
+    Parameters
+    ----------
+    priority:
+        Larger values are more urgent.  The framework reserves nothing; the
+        Infopipe layer conventionally uses 0 for data, 10 for control events.
+    deadline:
+        Optional absolute scheduler time by which the message should be
+        processed.  Used only to order messages/threads of equal priority.
+    """
+
+    priority: int = 0
+    deadline: float | None = None
+
+    def sort_key(self) -> tuple[float, float]:
+        """Key such that smaller sorts first for more-urgent constraints."""
+        deadline = self.deadline if self.deadline is not None else math.inf
+        return (-self.priority, deadline)
+
+    def is_more_urgent_than(self, other: "Constraint") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    @staticmethod
+    def most_urgent(*constraints: "Constraint | None") -> "Constraint | None":
+        """Return the most urgent of the given constraints (``None`` skipped)."""
+        best: Constraint | None = None
+        for c in constraints:
+            if c is None:
+                continue
+            if best is None or c.is_more_urgent_than(best):
+                best = c
+        return best
+
+    def inherit(self, other: "Constraint | None") -> "Constraint":
+        """Combine with an inherited constraint, keeping the more urgent one.
+
+        This implements the package's priority-inheritance scheme: a thread
+        processing a message on behalf of a more urgent caller temporarily
+        acquires the caller's constraint.
+        """
+        if other is None or self.is_more_urgent_than(other):
+            return self
+        return other
+
+
+#: Constraint used when none was specified.
+DEFAULT_CONSTRAINT = Constraint(priority=0)

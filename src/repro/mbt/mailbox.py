@@ -1,0 +1,72 @@
+"""Per-thread message queues ordered by constraint urgency.
+
+Messages carrying a more urgent constraint overtake less urgent ones, which
+is how control events reach a component before queued data items (paper
+section 2.2: control handlers "are executed with higher priority than
+potentially long-running data processing").  Messages of equal urgency are
+delivered in arrival order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Iterator
+
+from repro.mbt.message import Message
+
+
+class Mailbox:
+    """Priority queue of messages with selective receive."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, float, int, Message]] = []
+        self._seq = itertools.count()
+
+    @staticmethod
+    def _urgency(message: Message) -> tuple[float, float]:
+        if message.constraint is None:
+            return (0.0, math.inf)
+        return message.constraint.sort_key()
+
+    def put(self, message: Message) -> None:
+        prio, deadline = self._urgency(message)
+        heapq.heappush(self._heap, (prio, deadline, next(self._seq), message))
+
+    def peek(self) -> Message | None:
+        return self._heap[0][3] if self._heap else None
+
+    def get(self, match: Callable[[Message], bool] | None = None) -> Message | None:
+        """Remove and return the first message, or first matching message.
+
+        Returns ``None`` when nothing (matching) is queued.
+        """
+        if not self._heap:
+            return None
+        if match is None:
+            return heapq.heappop(self._heap)[3]
+        for index, entry in enumerate(sorted(self._heap)):
+            if match(entry[3]):
+                self._heap.remove(entry)
+                heapq.heapify(self._heap)
+                return entry[3]
+            # Only scan in priority order; ``sorted`` gives us that order.
+            del index
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate messages in delivery order without removing them."""
+        return (entry[3] for entry in sorted(self._heap))
+
+    def clear(self) -> list[Message]:
+        """Drop and return all queued messages (delivery order)."""
+        drained = [entry[3] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return drained

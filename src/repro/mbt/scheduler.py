@@ -1,0 +1,529 @@
+"""Deterministic priority scheduler for message-based user-level threads.
+
+One :class:`Scheduler` owns a set of :class:`~repro.mbt.thread.MThread`
+objects, a clock and a timer wheel.  It repeatedly picks the ready thread
+with the most urgent effective constraint and runs it until it blocks
+(receive/sleep), completes its current message, or is preempted.
+
+Preemption happens at yield points (every syscall) and *during* simulated
+CPU work (:class:`~repro.mbt.syscalls.Work`), so a high-priority audio pump
+interrupts a long-running video decode exactly as the paper requires
+("threads can be preempted in favor of threads driven by other pumps").
+
+With the default :class:`~repro.mbt.clock.VirtualClock` execution is a pure
+discrete-event simulation: deterministic, repeatable, and far faster than
+real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.errors import SchedulerError
+from repro.mbt.clock import Clock, VirtualClock
+from repro.mbt.constraints import Constraint
+from repro.mbt.message import Message
+from repro.mbt.syscalls import (
+    CONTINUE,
+    TERMINATE,
+    TIMED_OUT,
+    Call,
+    Exit,
+    Receive,
+    Reply,
+    Send,
+    Sleep,
+    Syscall,
+    WaitUntil,
+    Work,
+    Yield,
+)
+from repro.mbt.thread import MThread, WaitState
+
+_EPS = 1e-12
+
+
+class TimerHandle:
+    """Cancellable handle returned by :meth:`Scheduler.at`."""
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Runs user-level threads over a virtual or real clock."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        trace: bool = False,
+        on_thread_error: str = "raise",
+    ):
+        if on_thread_error not in ("raise", "collect"):
+            raise ValueError("on_thread_error must be 'raise' or 'collect'")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.threads: dict[str, MThread] = {}
+        self.dead_letters: list[Message] = []
+        self.errors: list[tuple[str, BaseException]] = []
+        self.on_thread_error = on_thread_error
+
+        #: Number of times the CPU moved from one thread to another.
+        self.context_switches = 0
+        #: Number of thread dispatches performed.
+        self.steps = 0
+        #: Total messages delivered.
+        self.messages_delivered = 0
+
+        self._timer_heap: list[tuple[float, int, TimerHandle]] = []
+        self._timer_seq = itertools.count()
+        self._thread_seq = itertools.count()
+        self._run_seq = itertools.count(1)
+        self._last_running: MThread | None = None
+        self._trace: list[tuple] | None = [] if trace else None
+        self._reservations: dict[str, float] = {}
+
+    # ------------------------------------------------------------ threads
+
+    def add_thread(self, thread: MThread) -> MThread:
+        if thread.name in self.threads:
+            raise SchedulerError(f"duplicate thread name {thread.name!r}")
+        thread._index = next(self._thread_seq)
+        self.threads[thread.name] = thread
+        return thread
+
+    def spawn(self, name: str, code, priority: int = 0) -> MThread:
+        """Create, register and return a new thread."""
+        return self.add_thread(MThread(name=name, code=code, priority=priority))
+
+    def remove_thread(self, name: str) -> None:
+        thread = self.threads.pop(name, None)
+        if thread is not None:
+            thread.terminated = True
+            thread.clear_execution_state()
+
+    def blocked_threads(self) -> list[MThread]:
+        return [t for t in self.threads.values() if t.is_blocked()]
+
+    # ------------------------------------------------------------ reservations
+
+    def reserve(self, name: str, cpu_fraction: float) -> None:
+        """Record a CPU reservation; raises when over-committed.
+
+        The paper's pumps "can make reservations, if supported, according to
+        estimated or worst case execution times of the pipeline stages they
+        run".  The virtual scheduler implements the admission check.
+        """
+        if cpu_fraction <= 0:
+            raise SchedulerError("reservation must be positive")
+        committed = sum(self._reservations.values()) - self._reservations.get(name, 0.0)
+        if committed + cpu_fraction > 1.0 + _EPS:
+            raise SchedulerError(
+                f"reservation of {cpu_fraction:.3f} for {name!r} rejected: "
+                f"{committed:.3f} already committed"
+            )
+        self._reservations[name] = cpu_fraction
+
+    def release_reservation(self, name: str) -> None:
+        self._reservations.pop(name, None)
+
+    @property
+    def reservations(self) -> dict[str, float]:
+        return dict(self._reservations)
+
+    # ------------------------------------------------------------ messaging
+
+    def post(self, message: Message) -> None:
+        """Inject a message from outside the scheduler (tests, devices)."""
+        self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        target = self.threads.get(message.target)
+        if target is None or target.terminated:
+            self.dead_letters.append(message)
+            return
+        self.messages_delivered += 1
+        self._record("deliver", message.kind, message.sender, message.target)
+        wait = target._wait
+        if (
+            wait is not None
+            and wait.kind == "receive"
+            and (wait.match is None or wait.match(message))
+        ):
+            if wait.timer is not None:
+                wait.timer.cancel()
+            target._wait = None
+            target._resume_value = message
+        else:
+            target.mailbox.put(message)
+
+    # ------------------------------------------------------------ timers
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
+        handle = TimerHandle(when, callback)
+        heapq.heappush(self._timer_heap, (when, next(self._timer_seq), handle))
+        return handle
+
+    def after(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return self.at(self.clock.now() + delay, callback)
+
+    def _next_timer_time(self) -> float | None:
+        while self._timer_heap and self._timer_heap[0][2].cancelled:
+            heapq.heappop(self._timer_heap)
+        return self._timer_heap[0][0] if self._timer_heap else None
+
+    def _fire_due_timers(self) -> None:
+        now = self.clock.now()
+        while self._timer_heap and self._timer_heap[0][0] <= now + _EPS:
+            _, _, handle = heapq.heappop(self._timer_heap)
+            if not handle.cancelled:
+                handle.callback()
+
+    # ------------------------------------------------------------ main loop
+
+    def run(
+        self,
+        until: float | None = None,
+        max_steps: int | None = None,
+    ) -> None:
+        """Run until quiescent, until virtual time ``until``, or ``max_steps``.
+
+        Quiescent means: no thread is ready and no timer is pending.  Threads
+        blocked in a receive without timeout (servers awaiting requests) do
+        not keep the scheduler alive.
+        """
+        while True:
+            if max_steps is not None and self.steps >= max_steps:
+                return
+            if until is not None and self.clock.now() > until + _EPS:
+                # Hard horizon: once time passed `until` (e.g. simulated
+                # work overran it), stop even if threads are still ready.
+                return
+            thread = self._pick_ready()
+            if thread is None:
+                next_t = self._next_timer_time()
+                if next_t is None:
+                    return
+                if until is not None and next_t > until + _EPS:
+                    if until > self.clock.now():
+                        self.clock.advance_to(until)
+                    return
+                self.clock.advance_to(next_t)
+                self._fire_due_timers()
+                continue
+            self._run_thread(thread)
+
+    def run_until_idle(self, max_steps: int | None = None) -> None:
+        self.run(until=None, max_steps=max_steps)
+
+    def _pick_ready(self) -> MThread | None:
+        best: MThread | None = None
+        best_key: tuple | None = None
+        for thread in self.threads.values():
+            if not thread.is_ready():
+                continue
+            key = (*thread.effective_sort_key(), thread._last_ran, thread._index)
+            if best_key is None or key < best_key:
+                best, best_key = thread, key
+        return best
+
+    def _exists_more_urgent_ready(self, current: MThread) -> bool:
+        current_key = current.effective_sort_key()
+        for thread in self.threads.values():
+            if thread is current or not thread.is_ready():
+                continue
+            if thread.effective_sort_key() < current_key:
+                return True
+        return False
+
+    # ------------------------------------------------------------ dispatch
+
+    def _run_thread(self, thread: MThread) -> None:
+        if self._last_running is not thread:
+            self.context_switches += 1
+            self._record(
+                "switch",
+                self._last_running.name if self._last_running else None,
+                thread.name,
+            )
+            self._last_running = thread
+        self.steps += 1
+        thread._last_ran = next(self._run_seq)
+
+        if thread._pending_work > 0.0:
+            if not self._do_work(thread):
+                return  # preempted mid-work; remainder pending
+            # fall through and resume the generator with the stored value
+
+        if thread._gen is None:
+            message = thread.mailbox.get()
+            if message is None:
+                return
+            thread._current_message = message
+            self._record("dispatch", thread.name, message.kind)
+            try:
+                result = thread.code(thread, message)
+            except Exception as exc:
+                self._crash(thread, exc)
+                return
+            if inspect.isgenerator(result):
+                thread._gen = result
+                self._drive(thread, first=True)
+            else:
+                self._finish_message(thread, result)
+        else:
+            self._drive(thread)
+
+    def _drive(self, thread: MThread, first: bool = False) -> None:
+        """Advance the thread's generator until it blocks or completes."""
+        gen = thread._gen
+
+        def step(value: Any, exc: BaseException | None):
+            try:
+                if exc is not None:
+                    return gen.throw(exc), False, None
+                if first_step[0]:
+                    first_step[0] = False
+                    return next(gen), False, None
+                return gen.send(value), False, None
+            except StopIteration as stop:
+                return stop.value, True, None
+            except Exception as err:
+                return None, True, err
+
+        first_step = [first]
+        value, exc = thread._resume_value, thread._resume_exc
+        thread._resume_value = None
+        thread._resume_exc = None
+
+        while True:
+            request, finished, error = step(value, exc)
+            value, exc = None, None
+            if error is not None:
+                self._crash(thread, error)
+                return
+            if finished:
+                self._finish_message(thread, request)
+                return
+
+            if not isinstance(request, Syscall):
+                self._crash(
+                    thread,
+                    SchedulerError(
+                        f"thread {thread.name!r} yielded non-syscall {request!r}"
+                    ),
+                )
+                return
+
+            if isinstance(request, Send):
+                message = request.message
+                if not message.sender:
+                    message.sender = thread.name
+                self._deliver(message)
+                if self._preempt_if_needed(thread):
+                    return
+                continue
+
+            if isinstance(request, Reply):
+                reply = request.to.make_reply(request.payload)
+                thread.revoke_donation(request.to.msg_id)
+                self._deliver(reply)
+                if self._preempt_if_needed(thread):
+                    return
+                continue
+
+            if isinstance(request, Receive):
+                message = thread.mailbox.get(request.match)
+                if message is not None:
+                    value = message
+                    continue
+                self._block_receive(thread, request.match, request.timeout)
+                return
+
+            if isinstance(request, Call):
+                message = Message(
+                    kind=request.kind,
+                    payload=request.payload,
+                    sender=thread.name,
+                    target=request.target,
+                    constraint=self._call_constraint(thread, request),
+                    needs_reply=True,
+                )
+                callee = self.threads.get(request.target)
+                if callee is not None and not callee.terminated:
+                    inherited = Constraint(
+                        priority=int(thread.effective_priority())
+                        if thread.effective_priority() != float("inf")
+                        else thread.priority
+                    )
+                    callee.donate(message.msg_id, inherited)
+                self._deliver(message)
+                request_id = message.msg_id
+                self._block_receive(
+                    thread,
+                    lambda m, _rid=request_id: m.reply_to == _rid,
+                    request.timeout,
+                )
+                return
+
+            if isinstance(request, Sleep):
+                self._block_until(thread, self.clock.now() + request.duration)
+                return
+
+            if isinstance(request, WaitUntil):
+                if request.when <= self.clock.now() + _EPS:
+                    value = None
+                    continue
+                self._block_until(thread, request.when)
+                return
+
+            if isinstance(request, Work):
+                thread._pending_work = float(request.duration)
+                thread._resume_value = None
+                if not self._do_work(thread):
+                    return  # preempted; scheduler resumes the work later
+                if self._preempt_if_needed(thread):
+                    return
+                value = None
+                continue
+
+            if isinstance(request, Yield):
+                thread._resume_value = None
+                if self._other_ready(thread):
+                    return
+                value = None
+                continue
+
+            if isinstance(request, Exit):
+                self._finish_message(thread, TERMINATE)
+                return
+
+            self._crash(
+                thread,
+                SchedulerError(f"unhandled syscall {request!r}"),
+            )
+            return
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _call_constraint(thread: MThread, request: Call) -> Constraint | None:
+        if request.constraint is not None:
+            return request.constraint
+        current = thread._current_message
+        if current is not None and current.constraint is not None:
+            # Messages sent on behalf of a constrained message inherit its
+            # constraint (paper: "Messages between coroutines inherit the
+            # constraint from the message received by the sending component").
+            return current.constraint
+        return None
+
+    def _block_receive(self, thread, match, timeout) -> None:
+        wait = WaitState(kind="receive", match=match)
+        if timeout is not None:
+            def on_timeout(t=thread, w=wait):
+                if t._wait is w:
+                    t._wait = None
+                    t._resume_value = TIMED_OUT
+
+            wait.timer = self.after(timeout, on_timeout)
+        thread._wait = wait
+        self._record("block", thread.name, "receive")
+
+    def _block_until(self, thread: MThread, when: float) -> None:
+        wait = WaitState(kind="time")
+
+        def on_wake(t=thread, w=wait):
+            if t._wait is w:
+                t._wait = None
+                t._resume_value = None
+
+        wait.timer = self.at(when, on_wake)
+        thread._wait = wait
+        self._record("block", thread.name, "time")
+
+    def _do_work(self, thread: MThread) -> bool:
+        """Consume the thread's pending CPU work; False when preempted."""
+        while thread._pending_work > _EPS:
+            now = self.clock.now()
+            target = now + thread._pending_work
+            next_t = self._next_timer_time()
+            if next_t is None or next_t >= target - _EPS:
+                self.clock.advance_to(target)
+                thread._pending_work = 0.0
+                return True
+            self.clock.advance_to(next_t)
+            thread._pending_work -= next_t - now
+            self._fire_due_timers()
+            if self._exists_more_urgent_ready(thread):
+                self._record("preempt", thread.name)
+                return False
+        thread._pending_work = 0.0
+        return True
+
+    def _preempt_if_needed(self, thread: MThread) -> bool:
+        if self._exists_more_urgent_ready(thread):
+            thread._resume_value = None
+            self._record("preempt", thread.name)
+            return True
+        return False
+
+    def _other_ready(self, thread: MThread) -> bool:
+        return any(
+            t is not thread and t.is_ready() for t in self.threads.values()
+        )
+
+    def _finish_message(self, thread: MThread, result: Any) -> None:
+        thread._gen = None
+        thread._current_message = None
+        thread._resume_value = None
+        thread._resume_exc = None
+        self._record("done", thread.name)
+        if result is TERMINATE:
+            thread.terminated = True
+            thread.clear_execution_state()
+            self._record("terminate", thread.name)
+        elif result is not CONTINUE and result is not None:
+            self._crash(
+                thread,
+                SchedulerError(
+                    f"thread {thread.name!r} returned {result!r}; expected "
+                    "CONTINUE or TERMINATE"
+                ),
+            )
+
+    def _crash(self, thread: MThread, exc: BaseException) -> None:
+        thread.crashed = exc
+        thread.terminated = True
+        thread.clear_execution_state()
+        self.errors.append((thread.name, exc))
+        self._record("crash", thread.name, repr(exc))
+        if self.on_thread_error == "raise":
+            raise SchedulerError(f"thread {thread.name!r} crashed") from exc
+
+    # ------------------------------------------------------------ tracing
+
+    def _record(self, *event: Any) -> None:
+        if self._trace is not None:
+            self._trace.append((self.clock.now(), *event))
+
+    @property
+    def trace(self) -> list[tuple]:
+        if self._trace is None:
+            raise SchedulerError("tracing was not enabled")
+        return self._trace
+
+    def trace_events(self, kind: str) -> Iterable[tuple]:
+        return [event for event in self.trace if event[1] == kind]

@@ -1,0 +1,168 @@
+"""User-level threads driven by messages.
+
+Each :class:`MThread` "consists of a code function and a queue for incoming
+messages.  Unlike conventional threads, the code function is not called at
+thread creation time but each time a message is received" (paper, section 4).
+The code function receives ``(thread, message)`` and either
+
+* returns :data:`~repro.mbt.syscalls.CONTINUE` / ``TERMINATE`` directly, or
+* is a generator function, yielding :mod:`~repro.mbt.syscalls` requests to
+  suspend, and finally returning a return code.
+
+Per-message state lives in ``thread.local`` (a plain dict), making threads
+behave like the paper's extended finite state machines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mbt.constraints import Constraint
+from repro.mbt.mailbox import Mailbox
+from repro.mbt.message import Message
+
+#: Sort key of the least urgent possible thread.
+_IDLE_KEY = (math.inf, math.inf)
+
+CodeFunction = Callable[["MThread", Message], Any]
+
+
+@dataclass(slots=True)
+class WaitState:
+    """Why a thread is blocked.
+
+    ``kind`` is ``"receive"`` (waiting for a matching message) or ``"time"``
+    (sleeping).  ``timer`` holds a cancellable timer handle used for receive
+    timeouts and sleep wake-ups.
+    """
+
+    kind: str
+    match: Callable[[Message], bool] | None = None
+    timer: Any = None
+
+
+@dataclass
+class MThread:
+    """A message-driven user-level thread.
+
+    Parameters
+    ----------
+    name:
+        Unique name; also the address used by :class:`~repro.mbt.message.Message`.
+    code:
+        The code function invoked once per received message.
+    priority:
+        Static priority (larger is more urgent), used whenever no message
+        constraint applies.
+    """
+
+    name: str
+    code: CodeFunction
+    priority: int = 0
+
+    mailbox: Mailbox = field(default_factory=Mailbox, repr=False)
+    #: Per-thread user state (the "extended" part of the FSM).
+    local: dict = field(default_factory=dict, repr=False)
+
+    terminated: bool = False
+    crashed: BaseException | None = None
+
+    # -- scheduler-private execution state ---------------------------------
+    _gen: Any = field(default=None, repr=False)
+    _current_message: Message | None = field(default=None, repr=False)
+    _resume_value: Any = field(default=None, repr=False)
+    _resume_exc: BaseException | None = field(default=None, repr=False)
+    _pending_work: float = field(default=0.0, repr=False)
+    _wait: WaitState | None = field(default=None, repr=False)
+    #: Priority donations from synchronous callers, keyed by request msg id.
+    _donations: dict[int, Constraint] = field(default_factory=dict, repr=False)
+    #: Scheduler bookkeeping for fair tie-breaking.
+    _last_ran: int = field(default=0, repr=False)
+    _index: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------ API
+
+    def is_ready(self) -> bool:
+        """True when the thread can use the CPU right now."""
+        if self.terminated:
+            return False
+        if self._wait is not None:
+            return False
+        if self._pending_work > 0.0:
+            return True
+        if self._gen is not None:
+            return True
+        return bool(self.mailbox)
+
+    def is_blocked(self) -> bool:
+        return self._wait is not None and not self.terminated
+
+    @property
+    def processing(self) -> Message | None:
+        """The message currently being processed, if any."""
+        return self._current_message
+
+    def effective_sort_key(self) -> tuple[float, float]:
+        """Scheduling key; smaller sorts first (more urgent).
+
+        Implements the paper's rule: the effective priority is derived from
+        the constraint of the message currently being processed or, when the
+        thread is merely waiting for the CPU, from the constraint of the
+        first message in its incoming queue; absent any constraint the
+        static thread priority applies.  Donations from synchronous callers
+        (priority inheritance) are folded in.
+        """
+        candidates: list[Constraint] = []
+        if self._current_message is not None:
+            if self._current_message.constraint is not None:
+                candidates.append(self._current_message.constraint)
+        elif self._gen is None:
+            head = self.mailbox.peek()
+            if head is not None and head.constraint is not None:
+                candidates.append(head.constraint)
+        candidates.extend(self._donations.values())
+
+        best = Constraint.most_urgent(*candidates)
+        if best is None:
+            return (-float(self.priority), math.inf)
+        return best.sort_key()
+
+    def effective_priority(self) -> float:
+        """Convenience view of the priority component of the sort key."""
+        return -self.effective_sort_key()[0]
+
+    # ------------------------------------------------------ scheduler hooks
+
+    def donate(self, msg_id: int, constraint: Constraint) -> None:
+        self._donations[msg_id] = constraint
+
+    def revoke_donation(self, msg_id: int) -> None:
+        self._donations.pop(msg_id, None)
+
+    def clear_execution_state(self) -> None:
+        if self._gen is not None:
+            try:
+                self._gen.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._gen = None
+        self._current_message = None
+        self._resume_value = None
+        self._resume_exc = None
+        self._pending_work = 0.0
+        self._wait = None
+        self._donations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "terminated"
+            if self.terminated
+            else "blocked"
+            if self._wait is not None
+            else "ready"
+            if self.is_ready()
+            else "idle"
+        )
+        return f"<MThread {self.name!r} prio={self.priority} {state}>"

@@ -1,0 +1,100 @@
+"""Trace inspection utilities.
+
+Thread transparency hides threads from the *programmer*; when something
+behaves unexpectedly, the middleware owes them visibility back.  With
+``Engine(pipe, trace=True)`` the scheduler records every switch, dispatch,
+block and preemption; the helpers here turn that record into something a
+human can read.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.mbt.scheduler import Scheduler
+
+
+def format_trace(
+    scheduler: Scheduler,
+    kinds: Iterable[str] | None = None,
+    limit: int | None = None,
+) -> str:
+    """One line per trace event: ``time  kind  details``."""
+    wanted = set(kinds) if kinds is not None else None
+    lines = []
+    for event in scheduler.trace:
+        time_stamp, kind, *details = event
+        if wanted is not None and kind not in wanted:
+            continue
+        rendered = " ".join(str(d) for d in details)
+        lines.append(f"{time_stamp:10.6f}  {kind:<10} {rendered}")
+        if limit is not None and len(lines) >= limit:
+            lines.append("...")
+            break
+    return "\n".join(lines)
+
+
+def switch_counts(scheduler: Scheduler) -> dict[str, int]:
+    """How often each thread received the CPU."""
+    counts: Counter[str] = Counter()
+    for event in scheduler.trace:
+        if event[1] == "switch":
+            counts[event[3]] += 1
+    return dict(counts)
+
+
+def timeline(
+    scheduler: Scheduler,
+    width: int = 64,
+    until: float | None = None,
+) -> str:
+    """A text Gantt chart: one row per thread, one column per time slot.
+
+    ``#`` marks slots in which the thread held the CPU, ``.`` marks slots
+    in which it existed but did not run.  Useful for eyeballing priority
+    and preemption behaviour.
+    """
+    switches = [
+        (event[0], event[3]) for event in scheduler.trace
+        if event[1] == "switch"
+    ]
+    if not switches:
+        return "(no activity recorded)"
+    end = until if until is not None else max(
+        scheduler.now(), switches[-1][0]
+    )
+    start = switches[0][0]
+    span = max(end - start, 1e-9)
+    slot = span / width
+
+    threads = sorted({name for _, name in switches})
+    rows = {name: ["."] * width for name in threads}
+
+    # Attribute each inter-switch interval to the running thread.
+    for (t_from, name), (t_to, _next) in zip(switches,
+                                             switches[1:] + [(end, None)]):
+        first = min(width - 1, max(0, int((t_from - start) / slot)))
+        last = min(width - 1, max(0, int((t_to - start) / slot)))
+        for index in range(first, last + 1):
+            rows[name][index] = "#"
+
+    label_width = max(len(name) for name in threads)
+    header = (f"{'':{label_width}}  t={start:.3f}"
+              f"{'':{max(0, width - 16)}}t={end:.3f}")
+    body = "\n".join(
+        f"{name:{label_width}}  {''.join(cells)}"
+        for name, cells in rows.items()
+    )
+    return header + "\n" + body
+
+
+def summarize(scheduler: Scheduler) -> str:
+    """Compact run summary from the trace."""
+    kinds = Counter(event[1] for event in scheduler.trace)
+    parts = [f"{kind}={count}" for kind, count in sorted(kinds.items())]
+    counts = switch_counts(scheduler)
+    busiest = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+    lines = ["trace: " + " ".join(parts)]
+    lines += [f"  {name}: scheduled {count}x" for name, count in busiest]
+    return "\n".join(lines)

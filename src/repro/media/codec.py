@@ -1,0 +1,133 @@
+"""The synthetic MPEG codec.
+
+The decoder models the three behaviours the paper's arguments rest on:
+
+* **decode cost** — CPU time proportional to frame size, charged to the
+  scheduler, so video decoding is the long-running preemptible work of
+  section 3.2;
+* **reference-frame sharing** — "an MPEG-decoder that passes on decoded
+  video frames and at the same time still needs them as reference frames
+  itself.  Communication between the decoder and downstream components
+  must determine when the shared frames can be deleted" (section 2.2):
+  decoded I/P frames stay in the decoder's reference store until the
+  consumer sends a ``frame-release`` control event;
+* **loss sensitivity** — P/B frames whose references were lost upstream
+  are undecodable and skipped, which is why feedback-controlled dropping
+  (B first) beats arbitrary network dropping at equal loss rates.
+"""
+
+from __future__ import annotations
+
+from repro.core.styles import Consumer
+from repro.core.typespec import Typespec, props
+from repro.media.frames import VideoFrame
+
+
+class MpegDecoder(Consumer):
+    """Decoder: encoded frames in, decoded (shared) frames out."""
+
+    input_spec = Typespec({props.ITEM_TYPE: "video-frame",
+                           props.FORMAT: "mpeg"})
+    output_props = {props.FORMAT: "raw"}
+    events_handled = frozenset({"frame-release"})
+
+    def __init__(
+        self,
+        name: str | None = None,
+        cost_per_mb: float = 0.004,
+        share_references: bool = True,
+    ):
+        super().__init__(name)
+        #: Simulated decode cost in seconds per megabyte of *decoded* data.
+        self.cost_per_mb = cost_per_mb
+        self.share_references = share_references
+        #: Decoded reference frames still shared with downstream, by seq.
+        self.reference_frames: dict[int, VideoFrame] = {}
+        #: Sequence numbers of frames decoded successfully.
+        self._decoded: set[int] = set()
+        self.stats.update(decoded=0, skipped_undecodable=0, released=0)
+
+    # -- data path ---------------------------------------------------------
+
+    def push(self, frame: VideoFrame) -> None:
+        if not isinstance(frame, VideoFrame) or not frame.encoded:
+            raise TypeError(
+                f"{self.name!r} expects encoded VideoFrames, got {frame!r}"
+            )
+        if not self._decodable(frame):
+            self.stats["skipped_undecodable"] += 1
+            return
+        # Only reference frames (I/P) are shared with downstream; B frames
+        # are not kept and need no release.
+        shares = self.share_references and frame.kind in ("I", "P")
+        decoded = frame.decoded_copy(owner=self.name if shares else "")
+        if self.cost_per_mb:
+            self.charge(self.cost_per_mb * decoded.size / 1_000_000.0)
+        self._decoded.add(frame.seq)
+        if frame.kind in ("I", "P") and self.share_references:
+            self.reference_frames[frame.seq] = decoded
+        self.stats["decoded"] += 1
+        self.put(decoded)
+        self._forget_stale(frame.seq)
+
+    def _decodable(self, frame: VideoFrame) -> bool:
+        return all(dep in self._decoded for dep in frame.deps)
+
+    def _forget_stale(self, current_seq: int, horizon: int = 64) -> None:
+        # Bound the decoded-set so infinite streams do not grow memory;
+        # references older than the horizon can never be dependencies.
+        stale = [s for s in self._decoded if s < current_seq - horizon]
+        for seq in stale:
+            self._decoded.discard(seq)
+
+    # -- shared-frame lifecycle ----------------------------------------------
+
+    def on_frame_release(self, event) -> None:
+        """Downstream is done displaying a shared reference frame."""
+        seq = event.payload
+        if self.reference_frames.pop(seq, None) is not None:
+            self.stats["released"] += 1
+
+    @property
+    def shared_frame_count(self) -> int:
+        return len(self.reference_frames)
+
+
+class MpegEncoder(Consumer):
+    """Encoder: raw frames in, encoded frames out (for camera pipelines)."""
+
+    input_spec = Typespec({props.ITEM_TYPE: "video-frame",
+                           props.FORMAT: "raw"})
+    output_props = {props.FORMAT: "mpeg"}
+
+    def __init__(
+        self,
+        name: str | None = None,
+        cost_per_mb: float = 0.008,
+        compression: float = 20.0,
+    ):
+        super().__init__(name)
+        self.cost_per_mb = cost_per_mb
+        self.compression = compression
+        self.stats.update(encoded=0)
+
+    def push(self, frame: VideoFrame) -> None:
+        if not isinstance(frame, VideoFrame) or frame.encoded:
+            raise TypeError(
+                f"{self.name!r} expects raw VideoFrames, got {frame!r}"
+            )
+        if self.cost_per_mb:
+            self.charge(self.cost_per_mb * frame.size / 1_000_000.0)
+        encoded = VideoFrame(
+            seq=frame.seq,
+            kind=frame.kind,
+            pts=frame.pts,
+            size=max(64, int(frame.size / self.compression)),
+            width=frame.width,
+            height=frame.height,
+            gop_id=frame.gop_id,
+            encoded=True,
+            deps=frame.deps,
+        )
+        self.stats["encoded"] += 1
+        self.put(encoded)

@@ -1,0 +1,68 @@
+"""The feedback-controlled priority dropping filter (Figure 1).
+
+"The filter drops when the network is congested.  The dropping is
+controlled by a feedback mechanism using a sensor on the consumer side.
+This lets us control which data is dropped rather than incurring arbitrary
+dropping in the network."
+
+Drop levels:
+
+===== ==========================================
+level behaviour
+===== ==========================================
+0     pass everything
+1     drop B frames
+2     drop B and P frames
+3     drop everything except I frames (same as 2
+      for the standard GOP, but also drops any
+      non-I kinds an exotic flow may carry)
+===== ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.core.styles import Consumer
+from repro.core.typespec import Typespec, props
+from repro.media.frames import VideoFrame
+
+_DROPPED_KINDS = {0: set(), 1: {"B"}, 2: {"B", "P"}}
+
+
+class PriorityDropFilter(Consumer):
+    """Drops low-priority frame kinds according to its drop level."""
+
+    input_spec = Typespec({props.ITEM_TYPE: "video-frame"})
+    events_handled = frozenset({"set-drop-level"})
+
+    def __init__(self, level: int = 0, name: str | None = None):
+        super().__init__(name)
+        self._level = 0
+        self.level = level
+        self.stats.update(dropped_B=0, dropped_P=0, dropped_other=0)
+        #: (level, at-item-count) history of level changes.
+        self.level_changes: list[tuple[int, int]] = []
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self._level = max(0, min(3, int(value)))
+
+    def on_set_drop_level(self, event) -> None:
+        self.level = event.payload
+        self.level_changes.append((self._level, self.stats["items_in"]))
+
+    def push(self, frame: VideoFrame) -> None:
+        if self._should_drop(frame):
+            key = f"dropped_{frame.kind}" if frame.kind in ("B", "P") \
+                else "dropped_other"
+            self.stats[key] = self.stats.get(key, 0) + 1
+            return
+        self.put(frame)
+
+    def _should_drop(self, frame: VideoFrame) -> bool:
+        if self._level >= 3:
+            return frame.kind != "I"
+        return frame.kind in _DROPPED_KINDS[self._level]

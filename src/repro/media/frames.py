@@ -1,0 +1,110 @@
+"""Media item types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.net.marshal import register_codec
+
+
+@dataclass(slots=True)
+class VideoFrame:
+    """One video frame, encoded or decoded.
+
+    ``deps`` names the sequence numbers this frame needs as references
+    (empty for I frames).  ``owner`` is set by a decoder that still shares
+    the frame as a reference — the consumer must send a ``frame-release``
+    event to ``owner`` when done (section 2.2).
+    """
+
+    seq: int
+    kind: str  # "I" | "P" | "B"
+    pts: float
+    size: int
+    width: int = 640
+    height: int = 480
+    gop_id: int = 0
+    encoded: bool = True
+    deps: tuple[int, ...] = ()
+    owner: str = ""
+
+    def decoded_copy(self, owner: str = "") -> "VideoFrame":
+        raw_size = int(self.width * self.height * 1.5)  # YUV420
+        return replace(self, encoded=False, size=raw_size, owner=owner)
+
+    def resized(self, width: int, height: int) -> "VideoFrame":
+        scale = (width * height) / max(1, self.width * self.height)
+        return replace(
+            self,
+            width=width,
+            height=height,
+            size=max(1, int(self.size * scale)),
+        )
+
+
+@dataclass(slots=True)
+class AudioSample:
+    """A block of audio samples."""
+
+    seq: int
+    pts: float
+    duration: float
+    size: int = 1024
+
+
+@dataclass(slots=True)
+class MidiEvent:
+    """A tiny control-rate item: the paper's many-small-items workload
+    ("applications ... such as a MIDI mixer")."""
+
+    seq: int
+    channel: int
+    note: int
+    velocity: int
+    pts: float = 0.0
+
+
+# -- wire codecs ---------------------------------------------------------------
+
+# The wire representation is padded to the frame's nominal size, so the
+# simulated network sees realistic bandwidth demand (the synthetic frames
+# carry no pixel data of their own).
+_FRAME_HEADER_BYTES = 120
+
+
+def _frame_to_fields(f: VideoFrame) -> dict:
+    return {
+        "seq": f.seq, "kind": f.kind, "pts": f.pts, "size": f.size,
+        "width": f.width, "height": f.height, "gop_id": f.gop_id,
+        "encoded": f.encoded, "deps": tuple(f.deps),
+        "pad": b"\x00" * max(0, f.size - _FRAME_HEADER_BYTES),
+    }
+
+
+def _frame_from_fields(d: dict) -> VideoFrame:
+    return VideoFrame(
+        seq=d["seq"], kind=d["kind"], pts=d["pts"], size=d["size"],
+        width=d["width"], height=d["height"], gop_id=d["gop_id"],
+        encoded=d["encoded"], deps=tuple(d["deps"]),
+    )
+
+
+register_codec(VideoFrame, "vframe", _frame_to_fields, _frame_from_fields)
+
+register_codec(
+    AudioSample,
+    "asample",
+    lambda s: {"seq": s.seq, "pts": s.pts, "duration": s.duration,
+               "size": s.size},
+    lambda d: AudioSample(seq=d["seq"], pts=d["pts"],
+                          duration=d["duration"], size=d["size"]),
+)
+
+register_codec(
+    MidiEvent,
+    "midi",
+    lambda e: {"seq": e.seq, "channel": e.channel, "note": e.note,
+               "velocity": e.velocity, "pts": e.pts},
+    lambda d: MidiEvent(seq=d["seq"], channel=d["channel"], note=d["note"],
+                        velocity=d["velocity"], pts=d["pts"]),
+)

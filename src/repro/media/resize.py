@@ -1,0 +1,58 @@
+"""The resizer: control interaction from the display (section 2.2)."""
+
+from __future__ import annotations
+
+from repro.core.styles import FunctionComponent
+from repro.core.typespec import Typespec, props
+from repro.media.frames import VideoFrame
+
+
+class Resizer(FunctionComponent):
+    """Scales decoded frames to the display's window size.
+
+    "A video resizing component ... needs to be informed by the video
+    display whenever the user changes the window size" — the display
+    broadcasts ``window-resize`` and this component adapts, mid-stream,
+    under the synchronized-object guarantees (the handler never interleaves
+    with ``convert``).
+    """
+
+    input_spec = Typespec({props.ITEM_TYPE: "video-frame",
+                           props.FORMAT: "raw"})
+    events_handled = frozenset({"window-resize"})
+
+    def __init__(
+        self,
+        width: int = 640,
+        height: int = 480,
+        cost_per_mpixel: float = 0.002,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self.width = width
+        self.height = height
+        self.cost_per_mpixel = cost_per_mpixel
+        self.stats.update(resized=0)
+        #: (width, height, at-item-count) history.
+        self.size_changes: list[tuple[int, int, int]] = []
+
+    def on_window_resize(self, event) -> None:
+        self.width, self.height = event.payload
+        self.size_changes.append(
+            (self.width, self.height, self.stats["items_in"])
+        )
+
+    def convert(self, frame: VideoFrame) -> VideoFrame:
+        if frame.width == self.width and frame.height == self.height:
+            return frame
+        if self.cost_per_mpixel:
+            self.charge(
+                self.cost_per_mpixel * (self.width * self.height) / 1e6
+            )
+        self.stats["resized"] += 1
+        return frame.resized(self.width, self.height)
+
+    def transform_typespec(self, spec: Typespec) -> Typespec:
+        return spec.with_props(
+            **{props.FRAME_WIDTH: self.width, props.FRAME_HEIGHT: self.height}
+        )

@@ -1,0 +1,114 @@
+"""Media sources."""
+
+from __future__ import annotations
+
+import random
+
+from repro.components.sources import ActiveSource, Source
+from repro.core.events import EOS
+from repro.core.typespec import Interval, Typespec, props
+from repro.media.frames import MidiEvent
+from repro.media.gop import GopStructure
+
+
+def _video_spec(gop: GopStructure) -> Typespec:
+    return Typespec(
+        {
+            props.ITEM_TYPE: "video-frame",
+            props.FORMAT: "mpeg",
+            props.FRAME_RATE: Interval(0.0, gop.fps),
+            props.FRAME_WIDTH: gop.width,
+            props.FRAME_HEIGHT: gop.height,
+        }
+    )
+
+
+class MpegFileSource(Source):
+    """Passive source reading a (synthetic) MPEG file.
+
+    The paper's quickstart opens ``mpeg_file source("test.mpg")``; here the
+    "file" is generated deterministically from the file name (used as the
+    RNG seed), so every run reads the same movie without shipping media.
+    """
+
+    def __init__(
+        self,
+        filename: str = "test.mpg",
+        frames: int = 300,
+        gop: GopStructure | None = None,
+        name: str | None = None,
+    ):
+        self.filename = filename
+        self.gop = gop or GopStructure(seed=sum(map(ord, filename)))
+        super().__init__(name, flow_spec=_video_spec(self.gop))
+        self._total = frames
+        self._next = 0
+
+    def pull(self):
+        if self._next >= self._total:
+            return EOS
+        frame = self.gop.frame(self._next)
+        self._next += 1
+        return frame
+
+
+class CameraSource(ActiveSource):
+    """Active, self-timed source producing frames at its capture rate."""
+
+    def __init__(
+        self,
+        rate_hz: float = 30.0,
+        gop: GopStructure | None = None,
+        name: str | None = None,
+        priority: int = 0,
+        max_items: int | None = None,
+    ):
+        super().__init__(rate_hz, name, priority, max_items)
+        self.gop = gop or GopStructure(fps=rate_hz)
+        self.output_props = {
+            props.ITEM_TYPE: "video-frame",
+            props.FORMAT: "mpeg",
+            props.FRAME_RATE: rate_hz,
+        }
+        self._next = 0
+
+    def generate(self):
+        frame = self.gop.frame(self._next)
+        self._next += 1
+        return frame
+
+
+class MidiSource(Source):
+    """Passive source of many tiny MIDI events (section 4's stress case:
+    "pipelines that handle many control events or many small data items
+    such as a MIDI mixer")."""
+
+    flow_spec = Typespec({props.ITEM_TYPE: "midi-event"})
+
+    def __init__(
+        self,
+        events: int = 1000,
+        channel: int = 0,
+        seed: int = 99,
+        rate_hz: float = 500.0,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        self._total = events
+        self._channel = channel
+        self._rng = random.Random(seed + channel)
+        self._rate = rate_hz
+        self._next = 0
+
+    def pull(self):
+        if self._next >= self._total:
+            return EOS
+        event = MidiEvent(
+            seq=self._next,
+            channel=self._channel,
+            note=self._rng.randrange(21, 109),
+            velocity=self._rng.randrange(1, 128),
+            pts=self._next / self._rate,
+        )
+        self._next += 1
+        return event

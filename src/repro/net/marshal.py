@@ -1,0 +1,240 @@
+"""Marshalling: items <-> bytes (paper sections 2.4 and Figure 3).
+
+"Marshalling filters on either side translate the raw data flow to and from
+a higher-level information flow."
+
+The wire format is a compact tag-length-value binary encoding built with
+``struct`` — no pickling, so the format is explicit, versionable, and safe
+to decode.  Applications register codecs for their own item classes with
+:func:`register_codec` (the media substrate registers its frame types).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.core.styles import FunctionComponent
+from repro.core.typespec import Typespec, props
+from repro.errors import MarshalError
+
+# -- primitive TLV codec -------------------------------------------------------
+
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_TUPLE = 7
+_T_LIST = 8
+_T_DICT = 9
+_T_CUSTOM = 10
+
+_custom_encoders: dict[type, tuple[str, Callable[[Any], dict]]] = {}
+_custom_decoders: dict[str, Callable[[dict], Any]] = {}
+
+
+def register_codec(
+    cls: type,
+    tag: str,
+    to_fields: Callable[[Any], dict],
+    from_fields: Callable[[dict], Any],
+) -> None:
+    """Register a codec for a custom item class.
+
+    ``to_fields`` maps an instance to a dict of primitive values;
+    ``from_fields`` rebuilds the instance.
+    """
+    _custom_encoders[cls] = (tag, to_fields)
+    _custom_decoders[tag] = from_fields
+
+
+def encode_item(item: Any) -> bytes:
+    """Encode an item to wire bytes."""
+    out = bytearray()
+    _encode(item, out)
+    return bytes(out)
+
+
+def decode_item(data: bytes) -> Any:
+    """Decode wire bytes back to an item."""
+    item, offset = _decode(data, 0)
+    if offset != len(data):
+        raise MarshalError(
+            f"trailing garbage: consumed {offset} of {len(data)} bytes"
+        )
+    return item
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        out += struct.pack("!q", value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += struct.pack("!d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += struct.pack("!I", len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        out += struct.pack("!I", len(value))
+        out += value
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        out += struct.pack("!I", len(value))
+        for element in value:
+            _encode(element, out)
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        out += struct.pack("!I", len(value))
+        for element in value:
+            _encode(element, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += struct.pack("!I", len(value))
+        for key, element in value.items():
+            _encode(key, out)
+            _encode(element, out)
+    elif type(value) in _custom_encoders:
+        tag, to_fields = _custom_encoders[type(value)]
+        out.append(_T_CUSTOM)
+        raw_tag = tag.encode("ascii")
+        out += struct.pack("!H", len(raw_tag))
+        out += raw_tag
+        _encode(to_fields(value), out)
+    else:
+        raise MarshalError(
+            f"cannot marshal {type(value).__name__}; register_codec() it"
+        )
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    try:
+        tag = data[offset]
+    except IndexError:
+        raise MarshalError("truncated data") from None
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        (value,) = struct.unpack_from("!q", data, offset)
+        return value, offset + 8
+    if tag == _T_FLOAT:
+        (value,) = struct.unpack_from("!d", data, offset)
+        return value, offset + 8
+    if tag == _T_STR:
+        (length,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        (length,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        return bytes(data[offset : offset + length]), offset + length
+    if tag in (_T_TUPLE, _T_LIST):
+        (length,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        elements = []
+        for _ in range(length):
+            element, offset = _decode(data, offset)
+            elements.append(element)
+        return (tuple(elements) if tag == _T_TUPLE else elements), offset
+    if tag == _T_DICT:
+        (length,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        result = {}
+        for _ in range(length):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    if tag == _T_CUSTOM:
+        (tag_len,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        type_tag = data[offset : offset + tag_len].decode("ascii")
+        offset += tag_len
+        fields, offset = _decode(data, offset)
+        decoder = _custom_decoders.get(type_tag)
+        if decoder is None:
+            raise MarshalError(f"no codec registered for tag {type_tag!r}")
+        return decoder(fields), offset
+    raise MarshalError(f"unknown wire tag {tag}")
+
+
+class Codec:
+    """Object-style facade over the module-level codec functions."""
+
+    encode = staticmethod(encode_item)
+    decode = staticmethod(decode_item)
+
+
+# -- marshalling filters -------------------------------------------------------
+
+
+class MarshalFilter(FunctionComponent):
+    """Item flow -> byte flow, for the sending side of a netpipe."""
+
+    output_props = {props.FORMAT: "bytes"}
+
+    def __init__(self, name: str | None = None, cost_per_kb: float = 0.0):
+        super().__init__(name)
+        self._cost_per_kb = cost_per_kb
+
+    def convert(self, item: Any) -> bytes:
+        data = encode_item(item)
+        if self._cost_per_kb:
+            self.charge(self._cost_per_kb * len(data) / 1024.0)
+        return data
+
+    def transform_typespec(self, spec: Typespec) -> Typespec:
+        # Remember the item-level properties so the peer unmarshaller can
+        # restore them; the wire flow itself is plain bytes.
+        return Typespec({props.FORMAT: "bytes", "carried": spec})
+
+
+class UnmarshalFilter(FunctionComponent):
+    """Byte flow -> item flow, for the receiving side of a netpipe."""
+
+    input_spec = Typespec({props.FORMAT: "bytes"})
+
+    def __init__(self, name: str | None = None, cost_per_kb: float = 0.0):
+        super().__init__(name)
+        self._cost_per_kb = cost_per_kb
+
+    def convert(self, data: bytes) -> Any:
+        if self._cost_per_kb:
+            self.charge(self._cost_per_kb * len(data) / 1024.0)
+        return decode_item(data)
+
+    def transform_typespec(self, spec: Typespec) -> Typespec:
+        carried = spec["carried"]
+        if not isinstance(carried, Typespec):
+            return spec.without("carried").with_props(format="item")
+        # Restore the item-level flow, keeping the QoS properties the
+        # netpipe stamped onto the byte-level flow (including the location,
+        # which only netpipes may change).
+        restored = carried
+        for key in (
+            props.LATENCY,
+            props.JITTER,
+            props.LOSS_RATE,
+            props.BANDWIDTH,
+            props.LOCATION,
+        ):
+            if key in spec:
+                restored = restored.with_props(**{key: spec[key]})
+        return restored

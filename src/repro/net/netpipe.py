@@ -1,0 +1,169 @@
+"""Netpipes: the components that carry a plain byte flow between nodes.
+
+A netpipe is realized as a component *pair* (Figure 3): the
+:class:`NetpipeSender` terminates the producer-side pipeline (a passive
+sink feeding the transport protocol), and the :class:`NetpipeReceiver`
+heads the consumer-side pipeline (a passive boundary, like a buffer's
+out-end, filled asynchronously by packet arrivals).
+
+"These netpipes support plain data flows and may manage low-level
+properties such as bandwidth and latency" — the receiver's Typespec stamps
+the link's QoS properties and the new location onto the flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.components.buffers import EMPTY, OK, OnEmpty
+from repro.core.component import Component, Role
+from repro.core.events import EOS
+from repro.core.items import NIL
+from repro.core.polarity import Mode
+from repro.core.styles import Style
+from repro.core.typespec import Typespec, props
+from repro.errors import MarshalError, RemoteError
+from repro.net.network import Network
+from repro.net.protocols import DatagramProtocol, Protocol, StreamProtocol
+
+
+class NetpipeSender(Component):
+    """Passive sink pushing each byte item into the transport protocol."""
+
+    role = Role.SINK
+    style = Style.CONSUMER
+    is_activity_origin = False
+    input_spec = Typespec({props.FORMAT: "bytes"})
+
+    def __init__(self, protocol: Protocol, name: str | None = None):
+        super().__init__(name)
+        self.add_in_port(mode=Mode.PUSH)
+        self.protocol = protocol
+        self.location = protocol.src
+
+    def push(self, item: Any) -> None:
+        if not isinstance(item, bytes):
+            raise MarshalError(
+                f"{self.name!r} needs a byte flow; put a MarshalFilter "
+                f"upstream (got {type(item).__name__})"
+            )
+        self.protocol.send(item)
+
+    def on_eos(self) -> None:
+        """Called by the runtime when EOS reaches this sink: forward the
+        end of stream across the network."""
+        self.protocol.send_eos()
+
+
+class NetpipeReceiver(Component):
+    """Passive boundary fed by packet arrivals.
+
+    Downstream pumps pull from it exactly as from a buffer; an empty
+    receiver blocks the puller (or yields NIL under the nil policy) until
+    the network delivers.
+    """
+
+    role = Role.BUFFER  # boundary semantics: pulled through a gate
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        name: str | None = None,
+        on_empty: OnEmpty = OnEmpty.BLOCK,
+        flow_spec: Typespec | None = None,
+    ):
+        super().__init__(name)
+        self.add_out_port(mode=Mode.PULL)
+        self.protocol = protocol
+        self.location = protocol.dst
+        self.on_empty = on_empty
+        self.flow_spec = flow_spec or Typespec({props.FORMAT: "bytes"})
+        self._queue: deque[bytes] = deque()
+        self._eos_pending = False
+        self._gate = None
+        protocol.on_deliver(self._deliver, self._deliver_eos)
+
+    # -- typespec -----------------------------------------------------------
+
+    def transform_typespec(self, spec: Typespec) -> Typespec:
+        return spec.intersect(
+            self.flow_spec, context=f"flow received by {self.name!r}"
+        )
+
+    # -- runtime boundary interface (buffer-compatible) ----------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue and not self._eos_pending
+
+    @property
+    def fill_level(self) -> int:
+        return len(self._queue)
+
+    def try_push(self, item: Any, port: str = "in") -> str:
+        raise RemoteError(
+            f"{self.name!r} is filled by the network, not by pushes"
+        )
+
+    def try_pull(self, port: str = "out") -> tuple[str, Any]:
+        if self._queue:
+            self.stats["items_out"] += 1
+            return OK, self._queue.popleft()
+        if self._eos_pending:
+            self._eos_pending = False
+            return OK, EOS
+        if self.on_empty is OnEmpty.NIL:
+            return OK, NIL
+        return EMPTY, None
+
+    # -- network side ----------------------------------------------------------
+
+    def on_attach(self, engine) -> None:
+        self._gate = engine.gate_for(self)
+
+    def _deliver(self, payload: bytes) -> None:
+        self._queue.append(payload)
+        self.stats["items_in"] += 1
+        if self._gate is not None:
+            self._gate.external_wake_pullers()
+
+    def _deliver_eos(self) -> None:
+        self._eos_pending = True
+        if self._gate is not None:
+            self._gate.external_wake_pullers()
+
+
+def make_netpipe(
+    network: Network,
+    flow: str,
+    src_node: str,
+    dst_node: str,
+    protocol: str = "datagram",
+    on_empty: OnEmpty = OnEmpty.BLOCK,
+    flow_spec: Typespec | None = None,
+    **protocol_kwargs: Any,
+) -> tuple[NetpipeSender, NetpipeReceiver]:
+    """Build a netpipe pair over an existing link.
+
+    ``protocol`` selects the transport: ``"datagram"`` (best effort) or
+    ``"stream"`` (reliable, in order).
+    """
+    if protocol == "datagram":
+        transport: Protocol = DatagramProtocol(
+            network, flow, src_node, dst_node, **protocol_kwargs
+        )
+    elif protocol == "stream":
+        transport = StreamProtocol(
+            network, flow, src_node, dst_node, **protocol_kwargs
+        )
+    else:
+        raise RemoteError(f"unknown transport protocol {protocol!r}")
+    sender = NetpipeSender(transport, name=f"netpipe-send-{flow}")
+    receiver = NetpipeReceiver(
+        transport,
+        name=f"netpipe-recv-{flow}",
+        on_empty=on_empty,
+        flow_spec=flow_spec,
+    )
+    return sender, receiver

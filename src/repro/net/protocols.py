@@ -1,0 +1,310 @@
+"""Transport protocols runnable inside netpipes.
+
+"Any single protocol built into a middleware platform is inadequate";
+netpipes therefore encapsulate pluggable transports.  Two are provided:
+
+* :class:`DatagramProtocol` — best-effort: packets may be lost (link loss,
+  queue overflow) and may arrive out of order (jitter).  This is the
+  transport under the Figure-1 video pipeline, where loss is *managed* by
+  a feedback-controlled dropping filter rather than masked.
+* :class:`StreamProtocol` — reliable and in-order: selective repeat with
+  per-packet retransmission timers and cumulative acks riding the reverse
+  link.  Loss turns into latency, as a TCP-like transport would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RemoteError
+from repro.net.network import Network
+from repro.net.packets import Packet
+
+DeliverFn = Callable[[bytes], None]
+#: Payload marker for end-of-stream control packets.
+EOS_KIND = "eos"
+
+
+#: Default maximum payload bytes per packet (Ethernet-ish).
+DEFAULT_MTU = 1400
+
+
+class Protocol:
+    """Base: a one-directional byte transport between two nodes.
+
+    Messages larger than the MTU are fragmented into multiple packets; the
+    receiving side reassembles.  Under the datagram protocol the loss of
+    any fragment loses the whole message — which is why arbitrary network
+    dropping disproportionately kills large (I) frames, the effect the
+    Figure-1 feedback loop avoids by dropping whole low-priority frames at
+    the producer instead.
+    """
+
+    def __init__(self, network: Network, flow: str, src: str, dst: str,
+                 mtu: int = DEFAULT_MTU):
+        self.network = network
+        self.flow = flow
+        self.src = src
+        self.dst = dst
+        self.mtu = int(mtu)
+        self._deliver: DeliverFn | None = None
+        self._deliver_eos: Callable[[], None] | None = None
+        self.stats = {"sent": 0, "delivered": 0, "retransmits": 0}
+        # Receiver-side loss estimation window (packet-sequence gaps).
+        self._rx_highest = -1
+        self._rx_window_expected = 0
+        self._rx_window_received = 0
+        self._next_msg_seq = 0
+        network.register_receiver(flow, self._on_packet)
+
+    def _fragments(self, payload: bytes, kind: str = "data"):
+        """Split a message into MTU-sized fragment packets (unsequenced;
+        the caller assigns packet seq numbers)."""
+        msg_seq = self._next_msg_seq
+        self._next_msg_seq += 1
+        chunks = [payload[i : i + self.mtu]
+                  for i in range(0, len(payload), self.mtu)] or [b""]
+        return [
+            Packet(
+                flow=self.flow,
+                seq=-1,
+                payload=chunk,
+                kind=kind,
+                msg_seq=msg_seq,
+                frag_idx=idx,
+                frag_count=len(chunks),
+            )
+            for idx, chunk in enumerate(chunks)
+        ]
+
+    def _observe_rx(self, seq: int) -> None:
+        if seq > self._rx_highest:
+            self._rx_window_expected += seq - self._rx_highest
+            self._rx_highest = seq
+        self._rx_window_received += 1
+
+    def receiver_loss_sample(self) -> float:
+        """Packet loss fraction since the previous sample.
+
+        This measures *network* loss (packet-sequence gaps at the
+        receiver), which is what a consumer-side feedback sensor must use:
+        frame-sequence gaps would also count the producer-side filter's own
+        intentional drops and destabilize the loop.
+        """
+        expected = self._rx_window_expected
+        received = self._rx_window_received
+        self._rx_window_expected = 0
+        self._rx_window_received = 0
+        if expected <= 0:
+            return 0.0
+        return max(0.0, 1.0 - received / expected)
+
+    def on_deliver(self, deliver: DeliverFn, deliver_eos: Callable[[], None]) -> None:
+        self._deliver = deliver
+        self._deliver_eos = deliver_eos
+
+    # -- sender side -------------------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def send_eos(self) -> None:
+        raise NotImplementedError
+
+    # -- receiver side ------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _hand_over(self, packet: Packet) -> None:
+        if packet.kind == EOS_KIND:
+            if self._deliver_eos is None:
+                raise RemoteError(f"flow {self.flow!r} has no receiver bound")
+            self._deliver_eos()
+            return
+        if self._deliver is None:
+            raise RemoteError(f"flow {self.flow!r} has no receiver bound")
+        self.stats["delivered"] += 1
+        self._deliver(packet.payload)
+
+
+class DatagramProtocol(Protocol):
+    """Unreliable, unordered, no flow control — plain best effort."""
+
+    def __init__(self, network: Network, flow: str, src: str, dst: str,
+                 mtu: int = DEFAULT_MTU):
+        super().__init__(network, flow, src, dst, mtu)
+        self._next_seq = 0
+        self._eos_pending = False
+        # msg_seq -> {frag_idx: payload}; incomplete messages linger until
+        # evicted by the horizon below.
+        self._reassembly: dict[int, dict[int, bytes]] = {}
+        self._frag_counts: dict[int, int] = {}
+        self._delivered_msgs: set[int] = set()
+
+    def send(self, payload: bytes) -> None:
+        for packet in self._fragments(payload):
+            packet.seq = self._next_seq
+            self._next_seq += 1
+            self.stats["sent"] += 1
+            self.network.transmit(self.src, self.dst, packet)
+
+    def send_eos(self) -> None:
+        # Best-effort EOS: send a few copies so a lossy link still ends the
+        # stream (a real system would use the session protocol).
+        for _ in range(3):
+            packet = Packet(
+                flow=self.flow, seq=self._next_seq, payload=b"", kind=EOS_KIND
+            )
+            self._next_seq += 1
+            self.network.transmit(self.src, self.dst, packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == EOS_KIND:
+            if self._eos_pending:
+                return  # duplicate EOS copy
+            self._eos_pending = True
+            self._hand_over(packet)
+            return
+        self._observe_rx(packet.seq)
+        message = self._reassemble(packet)
+        if message is not None:
+            self.stats["delivered"] += 1
+            self._deliver(message)
+
+    def _reassemble(self, packet: Packet) -> bytes | None:
+        msg = packet.msg_seq
+        if msg in self._delivered_msgs:
+            return None
+        if packet.frag_count == 1:
+            self._delivered_msgs.add(msg)
+            self._evict_stale(msg)
+            return packet.payload
+        frags = self._reassembly.setdefault(msg, {})
+        frags[packet.frag_idx] = packet.payload
+        self._frag_counts[msg] = packet.frag_count
+        if len(frags) < packet.frag_count:
+            return None
+        del self._reassembly[msg]
+        del self._frag_counts[msg]
+        self._delivered_msgs.add(msg)
+        self._evict_stale(msg)
+        return b"".join(frags[i] for i in range(packet.frag_count))
+
+    def _evict_stale(self, completed_msg: int, horizon: int = 64) -> None:
+        stale = [m for m in self._reassembly if m < completed_msg - horizon]
+        for msg in stale:
+            del self._reassembly[msg]
+            self._frag_counts.pop(msg, None)
+        self._delivered_msgs = {
+            m for m in self._delivered_msgs if m >= completed_msg - horizon
+        }
+
+
+class StreamProtocol(Protocol):
+    """Reliable in-order transport: selective repeat + cumulative acks."""
+
+    def __init__(
+        self,
+        network: Network,
+        flow: str,
+        src: str,
+        dst: str,
+        retransmit_timeout: float = 0.1,
+        max_retries: int = 20,
+    ):
+        super().__init__(network, flow, src, dst)
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retries = max_retries
+        self._ack_flow = flow + "/ack"
+        network.register_receiver(self._ack_flow, self._on_ack)
+        # Sender state.
+        self._next_seq = 0
+        self._unacked: dict[int, tuple[Packet, int]] = {}
+        # Receiver state.
+        self._expected = 0
+        self._reorder: dict[int, Packet] = {}
+        self._partial: list[bytes] = []
+        self._partial_msg: int | None = None
+
+    # -- sender -------------------------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        for packet in self._fragments(payload):
+            packet.seq = self._next_seq
+            self._next_seq += 1
+            self._transmit_tracked(packet, retries=0)
+
+    def send_eos(self) -> None:
+        packet = Packet(
+            flow=self.flow, seq=self._next_seq, payload=b"", kind=EOS_KIND
+        )
+        self._next_seq += 1
+        self._transmit_tracked(packet, retries=0)
+
+    def _transmit_tracked(self, packet: Packet, retries: int) -> None:
+        self.stats["sent"] += 1
+        if retries:
+            self.stats["retransmits"] += 1
+        self._unacked[packet.seq] = (packet, retries)
+        self.network.transmit(self.src, self.dst, packet)
+        timeout = self.retransmit_timeout * (1 + retries)
+        self.network.scheduler.after(
+            timeout, lambda: self._check_retransmit(packet.seq)
+        )
+
+    def _check_retransmit(self, seq: int) -> None:
+        entry = self._unacked.get(seq)
+        if entry is None:
+            return  # acked in the meantime
+        packet, retries = entry
+        if retries >= self.max_retries:
+            raise RemoteError(
+                f"flow {self.flow!r}: packet {seq} lost after "
+                f"{retries} retries"
+            )
+        self._transmit_tracked(packet, retries + 1)
+
+    def _on_ack(self, ack: Packet) -> None:
+        # Cumulative: everything below ack.seq is delivered.
+        for seq in [s for s in self._unacked if s < ack.seq]:
+            del self._unacked[seq]
+
+    # -- receiver -------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind != EOS_KIND:
+            self._observe_rx(packet.seq)
+        if packet.seq >= self._expected and packet.seq not in self._reorder:
+            self._reorder[packet.seq] = packet
+        while self._expected in self._reorder:
+            ready = self._reorder.pop(self._expected)
+            self._expected += 1
+            self._deliver_in_order(ready)
+        self._send_ack()
+
+    def _deliver_in_order(self, packet: Packet) -> None:
+        if packet.kind == EOS_KIND:
+            self._hand_over(packet)
+            return
+        if packet.frag_count == 1:
+            self.stats["delivered"] += 1
+            self._deliver(packet.payload)
+            return
+        # Fragments of one message arrive consecutively (in-order stream).
+        if self._partial_msg != packet.msg_seq:
+            self._partial = []
+            self._partial_msg = packet.msg_seq
+        self._partial.append(packet.payload)
+        if len(self._partial) == packet.frag_count:
+            message = b"".join(self._partial)
+            self._partial = []
+            self._partial_msg = None
+            self.stats["delivered"] += 1
+            self._deliver(message)
+
+    def _send_ack(self) -> None:
+        ack = Packet(
+            flow=self._ack_flow, seq=self._expected, payload=b"", kind="ack"
+        )
+        self.network.transmit(self.dst, self.src, ack)

@@ -1,0 +1,282 @@
+"""Generated glue: adapting activity styles to usage modes (Figures 7/8).
+
+"Our Infopipe middleware generates glue code for this purpose and converts
+the functions into coroutines."  This module builds, for a component that
+cannot be called directly in its assigned mode, a
+:class:`~repro.mbt.coroutine.Suspendable` body whose requests are
+:class:`~repro.core.styles.PullOp` / :class:`~repro.core.styles.PushOp`:
+
+* active components — their own ``run()`` generator (or ``run_blocking``
+  on an OS thread) is the body;
+* consumers used in pull mode — the wrapper loop of Figure 7b:
+  ``while running: x = prev.pull(); this.push(x)``;
+* producers used in push mode — the wrapper loop of Figure 7a:
+  ``while running: x = this.pull(); next.push(x)``.
+
+Under the generator backend, a *direct-called* producer's ``get()`` cannot
+suspend the enclosing plain function call, so upstream items are prefetched
+through deterministic **replay**: ``pull()`` is re-executed from the start
+until its ``get()`` calls are all satisfiable, then its reads are committed
+(:class:`ReplayIntake`).  The OS-thread backend suspends for real and needs
+no replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.component import Component
+from repro.core.events import EOS, is_eos
+from repro.core.styles import (
+    ActiveComponent,
+    EndOfStream,
+    PullOp,
+    PushOp,
+    Style,
+)
+from repro.mbt.coroutine import (
+    GeneratorSuspendable,
+    OSThreadSuspendable,
+    Suspendable,
+)
+from repro.errors import RuntimeFault
+
+
+class NeedMoreInput(Exception):
+    """Raised by a replay intake when a ``get()`` cannot be satisfied yet."""
+
+    def __init__(self, port: str):
+        super().__init__(port)
+        self.port = port
+
+
+class ReplayIntake:
+    """Deterministic-replay input buffers for direct-called producers.
+
+    ``intake(port)`` reads the next prefetched item; raising
+    :class:`NeedMoreInput` aborts the producer's ``pull()``, the driver
+    fetches one more upstream item, and ``pull()`` is re-run from the top.
+    Reads are only *committed* (removed from the buffers) when ``pull()``
+    completes, so the replay sees identical inputs every attempt.
+    """
+
+    def __init__(self, ports: list[str]):
+        self.buffers: dict[str, deque] = {p: deque() for p in ports}
+        self._read: dict[str, int] = {p: 0 for p in ports}
+        self.eos: set[str] = set()
+        self._component: Component | None = None
+
+    def begin(self) -> None:
+        for port in self._read:
+            self._read[port] = 0
+
+    def intake(self, port: str = "in") -> Any:
+        buffer = self.buffers[port]
+        index = self._read[port]
+        if index < len(buffer):
+            self._read[port] = index + 1
+            item = buffer[index]
+            if is_eos(item):
+                raise EndOfStream(port)
+            return item
+        if port in self.eos:
+            raise EndOfStream(port)
+        raise NeedMoreInput(port)
+
+    def feed(self, port: str, item: Any) -> None:
+        if is_eos(item):
+            self.eos.add(port)
+        self.buffers[port].append(item)
+
+    def commit(self) -> None:
+        for port, count in self._read.items():
+            buffer = self.buffers[port]
+            for _ in range(count):
+                buffer.popleft()
+            if self._component is not None:
+                self._component.stats["items_in"] += count
+            self._read[port] = 0
+
+    def install(self, component: Component) -> None:
+        self._component = component
+        for port in self.buffers:
+            component._intakes[port] = (
+                lambda p=port: self.intake(p)
+            )
+
+
+class PendingEmits:
+    """Collects a direct-called consumer's ``put()`` emissions so the
+    driver can deliver them (possibly suspending) after ``push`` returns.
+
+    The external activity is unchanged — every ``push`` triggers the same
+    downstream pushes in the same order; only the suspension point moves
+    from inside ``put()`` to just after ``push()`` returns (exact in-call
+    suspension is available via the OS-thread backend).
+    """
+
+    def __init__(self):
+        self.queue: deque[tuple[str, Any]] = deque()
+
+    def install(self, component: Component) -> None:
+        for port in component.out_ports():
+            component._emitters[port.name] = (
+                lambda item, p=port.name: self.queue.append((p, item))
+            )
+
+    def drain(self):
+        while self.queue:
+            yield self.queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+# ---------------------------------------------------------------------------
+# Coroutine bodies
+# ---------------------------------------------------------------------------
+
+
+def build_suspendable(component: Component, backend: str) -> Suspendable:
+    """Build the coroutine body for a component that needs one.
+
+    ``backend`` is ``"generator"`` or ``"thread"``; a component only
+    providing the other kind of body is accommodated (the two Suspendable
+    backends are interchangeable from the driver's viewpoint).
+    """
+    if backend not in ("generator", "thread"):
+        raise RuntimeFault(f"unknown coroutine backend {backend!r}")
+    style = component.style
+    if style is Style.ACTIVE:
+        return _build_active(component, backend)
+    if style is Style.CONSUMER:
+        if backend == "thread":
+            return OSThreadSuspendable(
+                _consumer_thread_body(component), name=component.name
+            )
+        return GeneratorSuspendable(_consumer_pull_wrapper(component))
+    if style is Style.PRODUCER:
+        if backend == "thread":
+            return OSThreadSuspendable(
+                _producer_thread_body(component), name=component.name
+            )
+        return GeneratorSuspendable(_producer_push_wrapper(component))
+    raise RuntimeFault(
+        f"{component.name!r} (style {style}) never needs a coroutine"
+    )
+
+
+def _build_active(component: ActiveComponent, backend: str) -> Suspendable:
+    has_gen = component.has_generator_body()
+    has_blocking = component.has_blocking_body()
+    if backend == "thread" and has_blocking:
+        def body(channel, comp=component):
+            api = BlockingApi(channel)
+            comp.run_blocking(api)
+
+        return OSThreadSuspendable(body, name=component.name)
+    if has_gen:
+        return GeneratorSuspendable(component.run())
+    if has_blocking:
+        def body(channel, comp=component):
+            api = BlockingApi(channel)
+            comp.run_blocking(api)
+
+        return OSThreadSuspendable(body, name=component.name)
+    raise RuntimeFault(
+        f"{component.name!r} defines neither run() nor run_blocking()"
+    )
+
+
+class BlockingApi:
+    """The pull/push API handed to ``run_blocking`` bodies."""
+
+    def __init__(self, channel):
+        self._channel = channel
+
+    def pull(self, port: str = "in") -> Any:
+        return self._channel.call(PullOp(port))
+
+    def push(self, item: Any, port: str = "out") -> None:
+        self._channel.call(PushOp(item, port))
+
+
+def _consumer_pull_wrapper(component: Component):
+    """Figure 7b as a generator: pull upstream, feed this.push, emit the
+    results as they become available."""
+    pending = PendingEmits()
+    pending.install(component)
+    while True:
+        item = yield PullOp("in")
+        if is_eos(item):
+            break
+        component.receive_push(item)
+        for port, out in pending.drain():
+            yield PushOp(out, port)
+    # Trailing emissions (a flush on EOS would land here).
+    for port, out in pending.drain():
+        yield PushOp(out, port)
+
+
+def _consumer_thread_body(component: Component):
+    """Figure 7b on an OS thread: ``put()`` suspends genuinely inside
+    ``push()``."""
+
+    def body(channel):
+        for port in component.out_ports():
+            component._emitters[port.name] = (
+                lambda item, p=port.name: channel.call(PushOp(item, p))
+            )
+        while True:
+            item = channel.call(PullOp("in"))
+            if is_eos(item):
+                return
+            component.receive_push(item)
+
+    return body
+
+
+def _producer_push_wrapper(component: Component):
+    """Figure 7a as a generator: run this.pull() under replay, pushing each
+    completed result downstream."""
+    replay = ReplayIntake([p.name for p in component.in_ports()])
+    replay.install(component)
+    while True:
+        replay.begin()
+        try:
+            out = component.serve_pull()
+        except NeedMoreInput as need:
+            item = yield PullOp(need.port)
+            replay.feed(need.port, item)
+            continue
+        except EndOfStream:
+            return
+        replay.commit()
+        yield PushOp(out, "out")
+
+
+def _producer_thread_body(component: Component):
+    """Figure 7a on an OS thread: ``get()`` blocks genuinely inside
+    ``pull()`` — no replay restriction."""
+
+    def body(channel):
+        for port in component.in_ports():
+            component._intakes[port.name] = (
+                lambda p=port.name: _checked_pull(channel, p)
+            )
+        while True:
+            try:
+                out = component.serve_pull()
+            except EndOfStream:
+                return
+            channel.call(PushOp(out, "out"))
+
+    def _checked_pull(channel, port: str) -> Any:
+        item = channel.call(PullOp(port))
+        if is_eos(item):
+            raise EndOfStream(port)
+        component.stats["items_in"] += 1
+        return item
+
+    return body

@@ -1,0 +1,831 @@
+"""The Infopipe engine: realizing an allocation plan on the thread package.
+
+"The Infopipe platform creates a thread for each pump.  If there is no need
+for coroutines in the pipeline section a pump controls, the thread calls the
+pull functions of all components upstream of the pump, then calls push with
+the returned item to the components downstream of the pump, and finally
+returns to the pump, which schedules the next pull. ... If such coroutines
+are needed, each of them is implemented by an additional thread of the
+underlying thread package."  (paper, section 4)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.components.buffers import Buffer
+from repro.core import events as ev
+from repro.core.component import Component, Role
+from repro.core.composition import Pipeline
+from repro.core.events import EOS, Event, EventService, is_eos
+from repro.core.glue import (
+    AllocationPlan,
+    BoundaryRef,
+    FlowNode,
+    SectionPlan,
+    allocate,
+)
+from repro.core.items import is_nil
+from repro.core.polarity import Mode
+from repro.core.styles import EndOfStream, PullOp, PushOp, Style
+from repro.errors import RuntimeFault
+from repro.mbt.clock import Clock, VirtualClock
+from repro.mbt.constraints import Constraint
+from repro.mbt.coroutine import Done, Suspendable
+from repro.mbt.message import Message
+from repro.mbt.scheduler import Scheduler
+from repro.mbt.syscalls import CONTINUE, Send
+from repro.mbt.timers import PeriodicTimer
+from repro.runtime.bridge import PendingEmits, ReplayIntake, build_suspendable
+from repro.runtime.section import (
+    BufferGate,
+    SegmentLock,
+    ThreadCtx,
+    maybe_work,
+    pull_from,
+    push_to,
+)
+from repro.runtime.stats import PipelineStats
+
+FlowTarget = Union[FlowNode, BoundaryRef]
+
+
+class PumpDriver:
+    """Runs one section: the pump's (or active endpoint's) thread."""
+
+    def __init__(self, engine: "Engine", section: SectionPlan):
+        self.engine = engine
+        self.section = section
+        self.origin = section.origin
+        self.thread_name = f"pump:{self.origin.name}"
+        self.ctx = ThreadCtx(engine, self.thread_name)
+        self.timer: PeriodicTimer | None = None
+        self.finished = False
+        self.cycles = 0
+        self.nil_cycles = 0
+        self.items_moved = 0
+        self.waiting_for_data = False
+        self._loop_active = False
+        self._pull_gates: list[BufferGate] = []
+
+    # -- setup -------------------------------------------------------------
+
+    def setup(self) -> None:
+        scheduler = self.engine.scheduler
+        scheduler.spawn(
+            self.thread_name, self.code, priority=self.origin.priority
+        )
+        if getattr(self.origin, "reservation", None):
+            scheduler.reserve(self.thread_name, self.origin.reservation)
+        if self.timing == "clocked":
+            period = self.origin.period()
+            if period is None:
+                raise RuntimeFault(
+                    f"{self.origin.name!r} is clocked but has no period"
+                )
+            slack = getattr(self.origin, "deadline_slack", None)
+            constraint_fn = None
+            if slack is not None:
+                def constraint_fn(fire_time, _slack=slack):
+                    return Constraint(
+                        priority=self.origin.priority,
+                        deadline=fire_time + _slack,
+                    )
+            self.timer = PeriodicTimer(
+                scheduler,
+                self.thread_name,
+                period=period,
+                kind="tick",
+                constraint=self.data_constraint(),
+                constraint_fn=constraint_fn,
+            )
+            rate_listener = getattr(self.origin, "_rate_listener", "absent")
+            if rate_listener != "absent":
+                self.origin._rate_listener = self._apply_rate
+        self._pull_gates = [
+            gate
+            for gate in _boundary_gates(self.engine, self.section.pull_root)
+        ]
+
+    @property
+    def timing(self) -> str:
+        return getattr(self.origin, "timing", "greedy")
+
+    def data_constraint(self) -> Constraint | None:
+        if self.origin.priority:
+            return Constraint(priority=self.origin.priority)
+        return None
+
+    def _apply_rate(self, rate_hz: float) -> None:
+        if self.timer is not None:
+            self.timer.period = 1.0 / rate_hz
+
+    # -- thread code function ------------------------------------------------
+
+    def code(self, thread, message):
+        if message.kind == "event":
+            event, target_name = message.payload
+            self.engine.dispatch_event_local(
+                self.thread_name, event, target_name
+            )
+        elif message.kind == "tick":
+            if self.origin.running and not self.finished:
+                yield from self.cycle()
+        elif message.kind == "cycle":
+            self.waiting_for_data = False
+            if self.origin.running and not self.finished:
+                yield from self.cycle()
+                if (
+                    self.origin.running
+                    and not self.finished
+                    and not self.waiting_for_data
+                ):
+                    yield Send(
+                        Message(
+                            kind="cycle",
+                            sender=self.thread_name,
+                            target=self.thread_name,
+                            constraint=self.data_constraint(),
+                        )
+                    )
+                else:
+                    self._loop_active = False
+            else:
+                self._loop_active = False
+        self.sync_running_state()
+        return CONTINUE
+
+    def sync_running_state(self) -> None:
+        running = self.origin.running and not self.finished
+        if self.timer is not None:
+            if running and not self.timer.running:
+                self.timer.start()
+            elif not running and self.timer.running:
+                self.timer.stop()
+        elif running and not self._loop_active and not self.waiting_for_data:
+            self._loop_active = True
+            self.engine.scheduler.post(
+                Message(
+                    kind="cycle",
+                    sender=self.thread_name,
+                    target=self.thread_name,
+                    constraint=self.data_constraint(),
+                )
+            )
+
+    # -- one cycle -----------------------------------------------------------
+
+    def cycle(self):
+        self.cycles += 1
+        origin = self.origin
+
+        if self.section.pull_root is not None:
+            item = yield from pull_from(self.ctx, self.section.pull_root)
+        else:
+            item = origin.generate()
+            yield from maybe_work(origin)
+
+        if is_nil(item):
+            self.nil_cycles += 1
+            if self.timer is None:
+                self._enter_waiting()
+            return
+
+        if is_eos(item):
+            if self.section.push_root is not None:
+                yield from push_to(self.ctx, self.section.push_root, EOS)
+            self.finish()
+            return
+
+        if self.section.pull_root is not None:
+            origin.stats["items_in"] += 1
+        else:
+            origin.stats["items_out"] += 1
+
+        if self.section.push_root is not None:
+            yield from push_to(self.ctx, self.section.push_root, item)
+            if self.section.pull_root is not None:
+                origin.stats["items_out"] += 1
+        else:
+            # Active sink: consume in place.
+            origin.consume(item)
+            yield from maybe_work(origin)
+
+        self.items_moved += 1
+        max_items = getattr(origin, "max_items", None)
+        if max_items is not None and self.items_moved >= max_items:
+            # A bounded origin ends the stream: tell downstream.
+            if self.section.push_root is not None:
+                yield from push_to(self.ctx, self.section.push_root, EOS)
+            self.finish()
+
+    def _enter_waiting(self) -> None:
+        """Greedy pump found no data under a nil policy: sleep until any
+        upstream gate sees a push."""
+        self.waiting_for_data = True
+        for gate in self._pull_gates:
+            gate.idle_pumps.add(self.thread_name)
+
+    def finish(self) -> None:
+        self.finished = True
+        self.origin.running = False
+        if self.timer is not None:
+            self.timer.stop()
+        self.engine.note_section_finished(self)
+
+
+class CoroutineDriver:
+    """Runs one coroutine component on its own user-level thread.
+
+    Push/pull to the component arrive as ``ip-push``/``ip-pull`` request
+    messages; the driver resumes the component's suspendable body, serves
+    its requests against the continuation subtree, and replies when the
+    component next needs input (push mode) or has produced output (pull
+    mode).
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        component: Component,
+        mode: Mode,
+        node: FlowNode,
+    ):
+        self.engine = engine
+        self.component = component
+        self.mode = mode
+        self.node = node
+        self.thread_name = f"coro:{component.name}"
+        self.ctx = ThreadCtx(engine, self.thread_name)
+        self.susp: Suspendable | None = None
+        self.started = False
+        self.finished = False
+        #: Pull-mode state: the last request the body is suspended at.
+        self._at_push = False
+
+    def setup(self, priority: int) -> None:
+        self.engine.scheduler.spawn(self.thread_name, self.code, priority)
+
+    def _suspendable(self) -> Suspendable:
+        if self.susp is None:
+            self.susp = build_suspendable(self.component, self.engine.backend)
+        return self.susp
+
+    def continuation(self, port: str) -> FlowTarget:
+        try:
+            return self.node.branches[port]
+        except KeyError:
+            raise RuntimeFault(
+                f"{self.component.name!r} used unknown port {port!r}"
+            ) from None
+
+    # -- resume helpers ------------------------------------------------------
+
+    def _resume(self, value: Any):
+        """Resume the body; returns a request, or Done."""
+        try:
+            return self._suspendable().resume(value)
+        except EndOfStream:
+            return Done(None)
+
+    def _start(self):
+        self.started = True
+        try:
+            return self._suspendable().resume(None)
+        except EndOfStream:
+            return Done(None)
+
+    def _resume_eos(self):
+        """Deliver end-of-stream to the body: thrown into active bodies,
+        passed as a value to the generated wrappers."""
+        if self.component.style is Style.ACTIVE:
+            try:
+                return self._suspendable().throw(EndOfStream())
+            except EndOfStream:
+                return Done(None)
+        return self._resume(EOS)
+
+    # -- thread code function ------------------------------------------------
+
+    def code(self, thread, message):
+        if message.kind == "event":
+            event, target_name = message.payload
+            self.engine.dispatch_event_local(
+                self.thread_name, event, target_name
+            )
+            return CONTINUE
+        if message.kind == "ip-push" and self.mode is Mode.PUSH:
+            yield from self._handle_push(message)
+            return CONTINUE
+        if message.kind == "ip-pull" and self.mode is Mode.PULL:
+            yield from self._handle_pull(message)
+            return CONTINUE
+        raise RuntimeFault(
+            f"coroutine {self.component.name!r} ({self.mode} mode) got "
+            f"unexpected message {message.kind!r}"
+        )
+
+    # -- push mode -------------------------------------------------------------
+
+    def _handle_push(self, message: Message):
+        from repro.mbt.syscalls import Reply
+
+        if self.finished:
+            yield Reply(message, "ok")
+            return
+        if not self.started:
+            request = self._start()
+            request = yield from self._drive_to_pull(request)
+            if self.finished:
+                yield Reply(message, "ok")
+                return
+
+        item = message.payload
+        if is_eos(item):
+            request = self._resume_eos()
+            while not self.finished:
+                request = yield from self._drive_to_pull(request)
+                if self.finished:
+                    break
+                # The body asked for more input after EOS: it stays ended.
+                request = self._resume_eos()
+            yield Reply(message, "ok")
+            return
+
+        request = self._resume(item)
+        yield from self._drive_to_pull(request)
+        yield Reply(message, "ok")
+
+    def _drive_to_pull(self, request):
+        """Serve PushOps downstream until the body wants input again."""
+        while True:
+            yield from maybe_work(self.component)
+            if isinstance(request, Done):
+                yield from self._forward_eos_downstream()
+                self.finished = True
+                return None
+            if isinstance(request, PushOp):
+                if self.component.style is Style.ACTIVE:
+                    # wrapper styles count via receive_push/serve_pull
+                    self.component.stats["items_out"] += 1
+                yield from push_to(
+                    self.ctx, self.continuation(request.port), request.item
+                )
+                request = self._resume(None)
+                continue
+            if isinstance(request, PullOp):
+                if self.component.style is Style.ACTIVE:
+                    self.component.stats["items_in"] += 1
+                return request
+            raise RuntimeFault(
+                f"{self.component.name!r} yielded unexpected {request!r}"
+            )
+
+    def _forward_eos_downstream(self):
+        for child in self.node.branches.values():
+            yield from push_to(self.ctx, child, EOS)
+
+    # -- pull mode --------------------------------------------------------------
+
+    def _handle_pull(self, message: Message):
+        from repro.mbt.syscalls import Reply
+
+        if self.finished:
+            yield Reply(message, EOS)
+            return
+
+        if not self.started:
+            request = self._start()
+        elif self._at_push:
+            self._at_push = False
+            request = self._resume(None)
+        else:  # pragma: no cover - defensive
+            request = self._resume(None)
+
+        while True:
+            yield from maybe_work(self.component)
+            if isinstance(request, Done):
+                self.finished = True
+                yield Reply(message, EOS)
+                return
+            if isinstance(request, PushOp):
+                self._at_push = True
+                if self.component.style is Style.ACTIVE:
+                    self.component.stats["items_out"] += 1
+                yield Reply(message, request.item)
+                return
+            if isinstance(request, PullOp):
+                value = yield from pull_from(
+                    self.ctx, self.continuation(request.port)
+                )
+                if is_eos(value):
+                    request = self._resume_eos()
+                else:
+                    if not is_nil(value) and \
+                            self.component.style is Style.ACTIVE:
+                        self.component.stats["items_in"] += 1
+                    request = self._resume(value)
+                continue
+            raise RuntimeFault(
+                f"{self.component.name!r} yielded unexpected {request!r}"
+            )
+
+
+def _boundary_gates(engine: "Engine", root: FlowTarget | None):
+    """All buffer gates at the boundaries of a section side."""
+    if root is None:
+        return
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BoundaryRef):
+            gate = engine.gate_for(node.component)
+            if gate is not None:
+                yield gate
+        else:
+            stack.extend(node.branches.values())
+
+
+class Engine:
+    """Executes a pipeline: thread transparency made concrete.
+
+    Parameters
+    ----------
+    pipe:
+        The composed :class:`~repro.core.composition.Pipeline`.
+    backend:
+        ``"generator"`` (default; deterministic generator coroutines) or
+        ``"thread"`` (OS-thread coroutine bodies with genuinely blocking
+        calls, the paper-faithful programming model).
+    clock:
+        Scheduler clock; defaults to a virtual (discrete-event) clock.
+    """
+
+    def __init__(
+        self,
+        pipe: Pipeline,
+        backend: str = "generator",
+        clock: Clock | None = None,
+        scheduler: Scheduler | None = None,
+        trace: bool = False,
+        on_thread_error: str = "raise",
+    ):
+        if not isinstance(pipe, Pipeline):
+            raise RuntimeFault("Engine requires a composed Pipeline")
+        self.pipeline = pipe
+        self.backend = backend
+        self.scheduler = scheduler or Scheduler(
+            clock=clock or VirtualClock(),
+            trace=trace,
+            on_thread_error=on_thread_error,
+        )
+        self.events = EventService()
+        self.plan: AllocationPlan | None = None
+
+        self._gates: dict[Component, BufferGate] = {}
+        self._locks: dict[Component, SegmentLock] = {}
+        self._replays: dict[Component, ReplayIntake] = {}
+        self._pendings: dict[Component, PendingEmits] = {}
+        self._owner: dict[str, str] = {}
+        self._thread_components: dict[str, dict[str, Component]] = {}
+        self._coroutine_drivers: dict[Component, CoroutineDriver] = {}
+        self.pump_drivers: list[PumpDriver] = []
+        self._drivers_by_origin: dict[str, PumpDriver] = {}
+        self.stats_counters: dict[str, int] = {"coroutine_switches": 0}
+        self._sink_eos: set[str] = set()
+        self._setup_done = False
+        #: Simulated network used for cross-node control-event latency.
+        self.network = None
+        #: Attached services (feedback loops, sensors) stopped by stop().
+        self._services: list[Any] = []
+
+    def add_service(self, service: Any) -> None:
+        """Register an auxiliary service whose ``stop()`` is called when the
+        pipeline stops (feedback loops register themselves here)."""
+        self._services.append(service)
+
+    def attach_network(self, network) -> "Engine":
+        """Tell the engine which simulated network connects its nodes, so
+        control events between components on different nodes incur the
+        network's control latency ("control events are delivered to remote
+        components through the platform", section 2.4)."""
+        self.network = network
+        return self
+
+    # ------------------------------------------------------------ setup
+
+    def setup(self) -> "Engine":
+        if self._setup_done:
+            return self
+        self.plan = allocate(self.pipeline)
+
+        # Buffer gates first: boundary ownership needs them.
+        for component in self.pipeline.components:
+            if component.role is Role.BUFFER:
+                self._gates[component] = BufferGate(self, component)
+
+        # Pump drivers and ownership / coroutine drivers via tree walks.
+        coroutine_stages = {
+            stage.component: stage
+            for section in self.plan.sections
+            for stage in section.stages
+            if stage.coroutine
+        }
+        for section in self.plan.sections:
+            driver = PumpDriver(self, section)
+            self.pump_drivers.append(driver)
+            self._drivers_by_origin[section.origin.name] = driver
+            self._own(section.origin, driver.thread_name)
+            for root in (section.pull_root, section.push_root):
+                if root is not None:
+                    self._assign_owners(
+                        root, driver.thread_name, coroutine_stages,
+                        priority=section.origin.priority,
+                    )
+
+        # Spawn threads (pump after ownership so gates resolve).
+        for driver in self.pump_drivers:
+            driver.setup()
+
+        # Segment locks for shared clusters.
+        self._build_locks()
+
+        # Event wiring.
+        for component in self.pipeline.components:
+            self._register_events(component)
+
+        for component in self.pipeline.components:
+            component.on_attach(self)
+        self._setup_done = True
+        return self
+
+    def _own(self, component: Component, thread_name: str) -> None:
+        if component.name in self._owner:
+            return  # first owner wins (shared components, buffers)
+        self._owner[component.name] = thread_name
+        self._thread_components.setdefault(thread_name, {})[
+            component.name
+        ] = component
+
+    def _assign_owners(
+        self,
+        target: FlowTarget,
+        owner_thread: str,
+        coroutine_stages: dict,
+        priority: int,
+    ) -> None:
+        if isinstance(target, BoundaryRef):
+            self._own(target.component, owner_thread)
+            return
+        component = target.component
+        if component in coroutine_stages:
+            if component not in self._coroutine_drivers:
+                driver = CoroutineDriver(
+                    self, component, target.mode, target
+                )
+                driver.setup(priority)
+                self._coroutine_drivers[component] = driver
+                self._own(component, driver.thread_name)
+            owner_thread = self._coroutine_drivers[component].thread_name
+        else:
+            self._own(component, owner_thread)
+            if component.style is Style.CONSUMER or component.role is Role.TEE:
+                if component.style is Style.CONSUMER:
+                    self.pending_for(component)
+            if component.style is Style.PRODUCER:
+                self.replay_for(component)
+        for child in target.branches.values():
+            self._assign_owners(child, owner_thread, coroutine_stages, priority)
+
+    def _build_locks(self) -> None:
+        assert self.plan is not None
+        shared = self.plan.shared_components
+        if not shared:
+            return
+        # Connected clusters of shared components share one lock.
+        remaining = set(shared)
+        while remaining:
+            seed = remaining.pop()
+            cluster = {seed}
+            stack = [seed]
+            while stack:
+                component = stack.pop()
+                for port in component.ports.values():
+                    if port.peer is None:
+                        continue
+                    neighbour = port.peer.component
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        cluster.add(neighbour)
+                        stack.append(neighbour)
+            lock = SegmentLock(name=f"segment:{seed.name}")
+            for member in cluster:
+                self._locks[member] = lock
+
+    def _register_events(self, component: Component) -> None:
+        owner = self._owner.get(component.name)
+        if owner is None:
+            return
+
+        def deliver(event: Event, name=component.name, thread=owner):
+            message = Message(
+                kind="event",
+                payload=(event, name),
+                sender="event-service",
+                target=thread,
+                constraint=ev.EVENT_CONSTRAINT,
+            )
+            delay = self._event_delay(event, component)
+            if delay > 0.0:
+                self.scheduler.after(
+                    delay, lambda: self.scheduler.post(message)
+                )
+            else:
+                self.scheduler.post(message)
+
+        self.events.register(component.name, deliver)
+        component._event_sender = self._make_event_sender(component)
+
+    def _event_delay(self, event: Event, receiver: Component) -> float:
+        """Cross-node control latency for an event (0 locally)."""
+        if self.network is None or not event.source:
+            return 0.0
+        try:
+            source = self.pipeline.component(event.source)
+        except Exception:
+            return 0.0
+        src_loc = getattr(source, "location", "")
+        dst_loc = getattr(receiver, "location", "")
+        if not src_loc or not dst_loc or src_loc == dst_loc:
+            return 0.0
+        return self.network.control_latency(src_loc, dst_loc)
+
+    def _make_event_sender(self, component: Component):
+        def sender(event: Event):
+            if event.scope is ev.EventScope.BROADCAST:
+                self.events.broadcast(event)
+                return
+            if event.scope is ev.EventScope.DIRECT:
+                self.events.send_to(event.target, event)
+                return
+            ports = (
+                component.in_ports()
+                if event.scope is ev.EventScope.UPSTREAM
+                else component.out_ports()
+            )
+            if not ports or ports[0].peer is None:
+                raise RuntimeFault(
+                    f"{component.name!r} has no {event.scope.value} neighbour"
+                )
+            self.events.send_to(ports[0].peer.component.name, event)
+
+        return sender
+
+    # ------------------------------------------------------------ accessors
+
+    def gate_for(self, component: Component) -> BufferGate | None:
+        return self._gates.get(component)
+
+    def lock_for(self, component: Component) -> SegmentLock | None:
+        return self._locks.get(component)
+
+    def replay_for(self, component: Component) -> ReplayIntake:
+        replay = self._replays.get(component)
+        if replay is None:
+            replay = ReplayIntake([p.name for p in component.in_ports()])
+            replay.install(component)
+            self._replays[component] = replay
+        return replay
+
+    def pending_for(self, component: Component) -> PendingEmits:
+        pending = self._pendings.get(component)
+        if pending is None:
+            pending = PendingEmits()
+            pending.install(component)
+            self._pendings[component] = pending
+        return pending
+
+    def is_coroutine(self, component: Component) -> bool:
+        return component in self._coroutine_drivers
+
+    def thread_of(self, component: Component) -> str:
+        driver = self._coroutine_drivers.get(component)
+        if driver is not None:
+            return driver.thread_name
+        owner = self._owner.get(component.name)
+        if owner is None:
+            raise RuntimeFault(f"{component.name!r} has no owning thread")
+        return owner
+
+    def dispatch_event_local(
+        self, thread_name: str, event: Event, target_name: str | None
+    ) -> None:
+        owned = self._thread_components.get(thread_name, {})
+        if target_name is None:
+            for component in owned.values():
+                component.handle_event(event)
+                self._sync_origin(component)
+            return
+        component = owned.get(target_name)
+        if component is not None:
+            component.handle_event(event)
+            self._sync_origin(component)
+
+    def _sync_origin(self, component: Component) -> None:
+        """If an event just changed an activity origin's running state —
+        possibly while its thread is blocked mid-cycle — resync its timer
+        immediately, so a stopped pump's clock stops ticking."""
+        driver = self._drivers_by_origin.get(component.name)
+        if driver is not None:
+            driver.sync_running_state()
+
+    def note_sink_eos(self, component: Component) -> None:
+        self._sink_eos.add(component.name)
+
+    def note_section_finished(self, driver: PumpDriver) -> None:
+        pass  # hook for subclasses/telemetry
+
+    # ------------------------------------------------------------ control
+
+    def send_event(self, kind: str, payload: Any = None) -> None:
+        """Broadcast a control event to every component (like the paper's
+        ``send_event(START)``)."""
+        self.setup()
+        self.events.broadcast(Event(kind=kind, payload=payload, source=""))
+
+    def start(self) -> "Engine":
+        self.setup()
+        self.send_event(ev.START)
+        return self
+
+    def stop(self) -> "Engine":
+        for service in self._services:
+            stop = getattr(service, "stop", None)
+            if stop is not None:
+                stop()
+        self.send_event(ev.STOP)
+        return self
+
+    def run(self, until: float | None = None, max_steps: int | None = None) -> "Engine":
+        self.setup()
+        self.scheduler.run(until=until, max_steps=max_steps)
+        return self
+
+    def run_to_completion(self, max_steps: int | None = None) -> "Engine":
+        """Start the pipeline and run until it goes quiescent (finite flows
+        end by EOS; infinite flows need ``run(until=...)`` + ``stop()``)."""
+        self.start()
+        self.scheduler.run(max_steps=max_steps)
+        return self
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.pump_drivers) and all(
+            d.finished for d in self.pump_drivers
+        )
+
+    def now(self) -> float:
+        return self.scheduler.now()
+
+    # ------------------------------------------------------------ stats
+
+    @property
+    def stats(self) -> PipelineStats:
+        snapshot = PipelineStats(
+            components={
+                c.name: dict(c.stats) for c in self.pipeline.components
+            },
+            context_switches=self.scheduler.context_switches,
+            coroutine_switches=self.stats_counters["coroutine_switches"],
+            messages_delivered=self.scheduler.messages_delivered,
+            cycles={d.origin.name: d.cycles for d in self.pump_drivers},
+            nil_cycles={
+                d.origin.name: d.nil_cycles for d in self.pump_drivers
+            },
+            time=self.scheduler.now(),
+            threads=len(self.pump_drivers) + len(self._coroutine_drivers),
+        )
+        return snapshot
+
+
+def run_pipeline(
+    pipe: Pipeline,
+    until: float | None = None,
+    backend: str = "generator",
+    max_steps: int | None = None,
+    **engine_kwargs: Any,
+) -> Engine:
+    """Convenience: build an engine, start the pipeline, run it.
+
+    With ``until`` the pipeline runs to that virtual time and is stopped;
+    without it, it runs to completion (finite sources).
+    """
+    engine = Engine(pipe, backend=backend, **engine_kwargs)
+    engine.start()
+    if until is not None:
+        engine.run(until=until, max_steps=max_steps)
+        engine.stop()
+        engine.run(max_steps=max_steps)
+    else:
+        engine.run(max_steps=max_steps)
+    return engine

@@ -1,0 +1,143 @@
+"""Pipeline restructuring: swapping components in a paused pipeline.
+
+The paper points at an "Infopipe Composition and Restructuring
+Microlanguage" as the planned configuration layer (section 5, ref [24]).
+The composition half lives in :mod:`repro.lang`; this module provides the
+restructuring primitive: replacing one pipeline stage with a compatible
+component while the pipeline is paused, without rebuilding anything else.
+
+Supported targets are *direct-called linear stages* (function, and
+consumer/producer used in their natural mode): they hold no in-flight
+control state, so a paused swap is safe.  Coroutine stages, boundaries and
+activity origins are rejected — their replacement would require draining a
+suspended control flow, which the paper leaves to future work (and so do
+we, explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.component import Component
+from repro.core.composition import derive_typespecs, reachable_components
+from repro.core.glue import FlowNode
+from repro.errors import CompositionError, RuntimeFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+
+def replace_component(engine: "Engine", old: Component, new: Component) -> None:
+    """Replace ``old`` with ``new`` in a set-up (ideally paused) pipeline.
+
+    Checks performed before anything is mutated:
+
+    * ``old`` is a direct-called stage of some section (not a coroutine,
+      boundary, origin, or shared segment member);
+    * ``new`` is unconnected and linear (one ``in``, one ``out`` port);
+    * ``new``'s style is directly callable in the stage's mode;
+    * the flow Typespecs still check out with ``new`` in place.
+
+    On success the ports are rewired, the allocation plan and runtime
+    wiring are updated, and ``new`` handles all subsequent items.  Raises
+    :class:`CompositionError` / :class:`RuntimeFault` with nothing changed
+    otherwise.
+    """
+    engine.setup()
+    stage, section, node = _locate(engine, old)
+
+    from repro.core.glue import needs_coroutine
+
+    if new.in_ports() and len(new.in_ports()) != 1 or len(new.out_ports()) != 1:
+        raise CompositionError(
+            f"replacement {new.name!r} must be linear (one in, one out)"
+        )
+    if any(p.connected for p in new.ports.values()):
+        raise CompositionError(f"{new.name!r} is already connected")
+    if new.style is None or needs_coroutine(new.style, stage.mode):
+        raise CompositionError(
+            f"{new.name!r} ({new.style}) would need a coroutine in "
+            f"{stage.mode} mode; only direct-callable replacements are "
+            "supported"
+        )
+
+    upstream_port = old.in_port.peer
+    downstream_port = old.out_port.peer
+    assert upstream_port is not None and downstream_port is not None
+
+    # -- trial rewire + typespec check, with rollback on failure ----------
+    _rewire(old, new, upstream_port, downstream_port, stage.mode)
+    try:
+        derive_typespecs(reachable_components(new))
+    except CompositionError:
+        _rewire(new, old, upstream_port, downstream_port, stage.mode)
+        raise
+
+    # -- commit: plan, pipeline, runtime wiring ---------------------------
+    stage.component = new
+    node.component = new
+    pipeline = engine.pipeline
+    pipeline._components[pipeline._components.index(old)] = new
+
+    _transfer_runtime_wiring(engine, old, new)
+
+
+def _locate(engine: "Engine", old: Component):
+    assert engine.plan is not None
+    for section in engine.plan.sections:
+        for stage in section.stages:
+            if stage.component is old:
+                if stage.coroutine:
+                    raise RuntimeFault(
+                        f"{old.name!r} runs as a coroutine; restructuring "
+                        "suspended control flows is not supported"
+                    )
+                if stage.shared:
+                    raise RuntimeFault(
+                        f"{old.name!r} is shared between sections and "
+                        "cannot be swapped"
+                    )
+                node = _find_node(section, old)
+                return stage, section, node
+    raise RuntimeFault(
+        f"{old.name!r} is not a direct stage of any section (boundaries, "
+        "pumps and endpoints cannot be swapped)"
+    )
+
+
+def _find_node(section, component) -> FlowNode:
+    for root in (section.pull_root, section.push_root):
+        if root is None or not isinstance(root, FlowNode):
+            continue
+        for node in root.walk():
+            if node.component is component:
+                return node
+    raise RuntimeFault(f"no flow node for {component.name!r}")  # pragma: no cover
+
+
+def _rewire(old, new, upstream_port, downstream_port, mode) -> None:
+    old.in_port.peer = None
+    old.out_port.peer = None
+    new.fix_port_mode("in", mode)
+    new.in_port.peer = upstream_port
+    upstream_port.peer = new.in_port
+    new.out_port.peer = downstream_port
+    downstream_port.peer = new.out_port
+
+
+def _transfer_runtime_wiring(engine: "Engine", old, new) -> None:
+    # Ownership and event registration follow the slot, not the object.
+    owner = engine._owner.pop(old.name, None)
+    if owner is not None:
+        engine._owner[new.name] = owner
+        owned = engine._thread_components.get(owner, {})
+        owned.pop(old.name, None)
+        owned[new.name] = new
+    engine.events.unregister(old.name)
+    engine._register_events(new)
+    # Fresh emit/intake structures are created lazily for `new`; drop the
+    # old ones so nothing keeps feeding a detached component.
+    engine._pendings.pop(old, None)
+    engine._replays.pop(old, None)
+    old.on_detach()
+    new.on_attach(engine)

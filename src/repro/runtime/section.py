@@ -1,0 +1,374 @@
+"""Chain execution: direct calls, gates, locks and coroutine messaging.
+
+All driver code here is written as generators over
+:mod:`repro.mbt.syscalls`, composed with ``yield from`` into the code
+functions of pump and coroutine threads.  Three kinds of suspension occur
+mid-chain, and each stays responsive to control events:
+
+* **buffer gates** — a push on a full BLOCK buffer, or a pull on an empty
+  BLOCK buffer, parks the thread until a wake message arrives;
+* **coroutine boundaries** — push/pull to a component running in another
+  thread becomes an asynchronous ``ip-push``/``ip-pull`` message plus a
+  wait for the reply ("the thread blocks waiting for either a control
+  message or the data reply message", section 4);
+* **simulated CPU work** — ``component.charge()`` is drained into ``Work``
+  syscalls, making stage costs preemptible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Union
+
+from repro.core.events import EOS, is_eos
+from repro.core.glue import BoundaryRef, FlowNode
+from repro.core.items import NIL, is_nil
+from repro.core.styles import EndOfStream, Style
+from repro.components.buffers import EMPTY, FULL
+from repro.errors import RuntimeFault
+from repro.mbt.message import Message
+from repro.mbt.syscalls import Receive, Send, Work
+from repro.runtime.bridge import NeedMoreInput
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+FlowTarget = Union[FlowNode, BoundaryRef]
+
+
+class ThreadCtx:
+    """Per-thread execution context used by all driver generators."""
+
+    def __init__(self, engine: "Engine", thread_name: str):
+        self.engine = engine
+        self.thread_name = thread_name
+
+    # -- constraints ------------------------------------------------------
+
+    def data_constraint(self):
+        """Constraint propagated onto data messages this thread sends: the
+        constraint of the message currently being processed (section 4:
+        "Messages between coroutines inherit the constraint from the
+        message received by the sending component")."""
+        thread = self.engine.scheduler.threads.get(self.thread_name)
+        if thread is not None and thread.processing is not None:
+            return thread.processing.constraint
+        return None
+
+    # -- receiving with event transparency ---------------------------------
+
+    def receive_data(self, kinds: set[str]):
+        """Wait for a message of one of ``kinds``, dispatching control
+        events that arrive in the meantime."""
+        while True:
+            message = yield Receive(
+                match=lambda m: m.kind in kinds or m.kind == "event"
+            )
+            if message.kind == "event":
+                self.dispatch_event_message(message)
+                continue
+            return message
+
+    def receive_reply(self, request: Message):
+        """Wait for the reply to ``request``, dispatching control events
+        that arrive in the meantime (the paper's mechanism for keeping a
+        blocked push/pull responsive)."""
+        while True:
+            message = yield Receive(
+                match=lambda m: m.reply_to == request.msg_id
+                or m.kind == "event"
+            )
+            if message.kind == "event":
+                self.dispatch_event_message(message)
+                continue
+            return message
+
+    def dispatch_event_message(self, message: Message) -> None:
+        event, target_name = message.payload
+        self.engine.dispatch_event_local(self.thread_name, event, target_name)
+
+    # -- coroutine boundaries ----------------------------------------------
+
+    def coroutine_push(self, component, item: Any):
+        """Synchronous push into a coroutine running in another thread."""
+        target = self.engine.thread_of(component)
+        request = Message(
+            kind="ip-push",
+            payload=item,
+            sender=self.thread_name,
+            target=target,
+            constraint=self.data_constraint(),
+            needs_reply=True,
+        )
+        self.engine.stats_counters["coroutine_switches"] += 1
+        yield Send(request)
+        yield from self.receive_reply(request)
+
+    def coroutine_pull(self, component):
+        """Synchronous pull from a coroutine running in another thread."""
+        target = self.engine.thread_of(component)
+        request = Message(
+            kind="ip-pull",
+            sender=self.thread_name,
+            target=target,
+            constraint=self.data_constraint(),
+            needs_reply=True,
+        )
+        self.engine.stats_counters["coroutine_switches"] += 1
+        yield Send(request)
+        reply = yield from self.receive_reply(request)
+        return reply.payload
+
+
+def maybe_work(component):
+    """Drain a component's charged CPU cost into a Work syscall."""
+    cost = component.drain_cost()
+    if cost > 0.0:
+        yield Work(cost)
+
+
+# ---------------------------------------------------------------------------
+# Buffer gates
+# ---------------------------------------------------------------------------
+
+
+class BufferGate:
+    """Runtime mediation of one buffer's blocking behaviour.
+
+    The buffer itself only reports full/empty; the gate parks the calling
+    thread (keeping it event-responsive) and wakes it with ``buffer-item``
+    / ``buffer-space`` messages when the state changes.
+    """
+
+    def __init__(self, engine: "Engine", buffer):
+        self.engine = engine
+        self.buffer = buffer
+        self._push_waiters: deque[str] = deque()
+        self._pull_waiters: deque[str] = deque()
+        #: Greedy pumps waiting for data (poked on every successful put).
+        self.idle_pumps: set[str] = set()
+
+    def put(self, ctx: ThreadCtx, item: Any, port: str = "in"):
+        while True:
+            status = self.buffer.try_push(item, port)
+            if status != FULL:
+                yield from self._wake_pullers(ctx)
+                return
+            self._push_waiters.append(ctx.thread_name)
+            yield from ctx.receive_data({"buffer-space"})
+
+    def get(self, ctx: ThreadCtx, port: str = "out"):
+        while True:
+            status, item = self.buffer.try_pull(port)
+            if status != EMPTY:
+                yield from self._wake_pushers(ctx)
+                return item
+            self._pull_waiters.append(ctx.thread_name)
+            yield from ctx.receive_data({"buffer-item"})
+
+    def _wake_pullers(self, ctx: ThreadCtx):
+        if self._pull_waiters:
+            waiter = self._pull_waiters.popleft()
+            yield Send(Message(kind="buffer-item", target=waiter,
+                               sender=ctx.thread_name))
+        for pump_thread in list(self.idle_pumps):
+            self.idle_pumps.discard(pump_thread)
+            yield Send(Message(kind="cycle", target=pump_thread,
+                               sender=ctx.thread_name))
+
+    def _wake_pushers(self, ctx: ThreadCtx):
+        if self._push_waiters:
+            waiter = self._push_waiters.popleft()
+            yield Send(Message(kind="buffer-space", target=waiter,
+                               sender=ctx.thread_name))
+
+    def external_wake_pullers(self) -> None:
+        """Wake waiting pullers from outside any driver context (used by
+        netpipe receivers when a packet arrives from the network)."""
+        scheduler = self.engine.scheduler
+        if self._pull_waiters:
+            waiter = self._pull_waiters.popleft()
+            scheduler.post(
+                Message(kind="buffer-item", target=waiter, sender="network")
+            )
+        for pump_thread in list(self.idle_pumps):
+            self.idle_pumps.discard(pump_thread)
+            scheduler.post(
+                Message(kind="cycle", target=pump_thread, sender="network")
+            )
+
+
+# ---------------------------------------------------------------------------
+# Segment locks (shared chains below merges / above activity routers)
+# ---------------------------------------------------------------------------
+
+
+class SegmentLock:
+    """Mutual exclusion for chains shared between pipeline sections.
+
+    Cooperative scheduling already serializes plain calls; the lock matters
+    when a shared chain suspends (a blocking buffer at its end) — without
+    it, a second pump could interleave half-processed items.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.holder: str | None = None
+        self._waiters: deque[str] = deque()
+        self.contentions = 0
+
+    def held_by(self, ctx: ThreadCtx) -> bool:
+        return self.holder == ctx.thread_name
+
+    def acquire(self, ctx: ThreadCtx):
+        while self.holder is not None and self.holder != ctx.thread_name:
+            self.contentions += 1
+            self._waiters.append(ctx.thread_name)
+            yield from ctx.receive_data({"segment-free"})
+        self.holder = ctx.thread_name
+
+    def release(self, ctx: ThreadCtx):
+        if self.holder != ctx.thread_name:
+            raise RuntimeFault(
+                f"lock {self.name!r} released by {ctx.thread_name!r} "
+                f"but held by {self.holder!r}"
+            )
+        self.holder = None
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            yield Send(Message(kind="segment-free", target=waiter,
+                               sender=ctx.thread_name))
+
+
+# ---------------------------------------------------------------------------
+# Chain walking
+# ---------------------------------------------------------------------------
+
+
+def pull_from(ctx: ThreadCtx, target: FlowTarget):
+    """Obtain one item from the pull-side continuation ``target``.
+
+    Returns the item, NIL (no data under a nil policy) or EOS.
+    """
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        if gate is not None:
+            return (yield from gate.get(ctx, target.port.name))
+        # Passive source.
+        item = component.serve_pull(target.port.name)
+        yield from maybe_work(component)
+        return item
+
+    component = target.component
+    lock = engine.lock_for(component)
+    if lock is not None and not lock.held_by(ctx):
+        yield from lock.acquire(ctx)
+        try:
+            return (yield from _pull_from_node(ctx, target))
+        finally:
+            yield from lock.release(ctx)
+    return (yield from _pull_from_node(ctx, target))
+
+
+def _pull_from_node(ctx: ThreadCtx, node: FlowNode):
+    engine = ctx.engine
+    component = node.component
+
+    if engine.is_coroutine(component):
+        return (yield from ctx.coroutine_pull(component))
+
+    if component.style is Style.FUNCTION:
+        item = yield from pull_from(ctx, node.branches["in"])
+        if is_eos(item) or is_nil(item):
+            return item
+        component.stats["items_in"] += 1
+        result = component.convert(item)
+        component.stats["items_out"] += 1
+        yield from maybe_work(component)
+        return result
+
+    # Producer style (possibly multi-input) under deterministic replay.
+    replay = engine.replay_for(component)
+    while True:
+        replay.begin()
+        try:
+            result = component.serve_pull(node.entry_port)
+        except NeedMoreInput as need:
+            yield from maybe_work(component)
+            upstream = yield from pull_from(ctx, node.branches[need.port])
+            if is_nil(upstream):
+                return NIL  # cannot complete now; prefetch is preserved
+            replay.feed(need.port, upstream)
+            continue
+        except EndOfStream:
+            yield from maybe_work(component)
+            return EOS
+        replay.commit()
+        yield from maybe_work(component)
+        return result
+
+
+def push_to(ctx: ThreadCtx, target: FlowTarget, item: Any):
+    """Deliver one item into the push-side continuation ``target``."""
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        if gate is not None:
+            yield from gate.put(ctx, item, target.port.name)
+            return
+        # Passive sink.
+        if is_eos(item):
+            engine.note_sink_eos(component)
+            on_eos = getattr(component, "on_eos", None)
+            if on_eos is not None:
+                on_eos()
+            return
+        component.receive_push(item, target.port.name)
+        yield from maybe_work(component)
+        return
+
+    component = target.component
+    lock = engine.lock_for(component)
+    if lock is not None and not lock.held_by(ctx):
+        yield from lock.acquire(ctx)
+        try:
+            yield from _push_to_node(ctx, target, item)
+        finally:
+            yield from lock.release(ctx)
+        return
+    yield from _push_to_node(ctx, target, item)
+
+
+def _push_to_node(ctx: ThreadCtx, node: FlowNode, item: Any):
+    engine = ctx.engine
+    component = node.component
+
+    if engine.is_coroutine(component):
+        yield from ctx.coroutine_push(component, item)
+        return
+
+    if is_eos(item):
+        # EOS bypasses user code and fans out to every downstream branch.
+        for child in node.branches.values():
+            yield from push_to(ctx, child, EOS)
+        return
+
+    if component.style is Style.FUNCTION:
+        component.stats["items_in"] += 1
+        result = component.convert(item)
+        component.stats["items_out"] += 1
+        yield from maybe_work(component)
+        yield from push_to(ctx, node.branches["out"], result)
+        return
+
+    # Consumer style (including push tees): emissions are collected and
+    # delivered after push() returns, possibly suspending between them.
+    pending = engine.pending_for(component)
+    component.receive_push(item, node.entry_port)
+    yield from maybe_work(component)
+    while pending.queue:
+        port, out = pending.queue.popleft()
+        yield from push_to(ctx, node.branches[port], out)

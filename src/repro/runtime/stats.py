@@ -1,0 +1,55 @@
+"""Aggregated pipeline statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class PipelineStats:
+    """A snapshot of everything countable about a pipeline run."""
+
+    #: Per-component counters (items_in, items_out, drops, ...).
+    components: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Thread context switches performed by the scheduler.
+    context_switches: int = 0
+    #: Coroutine-boundary crossings (ip-push/ip-pull round trips).
+    coroutine_switches: int = 0
+    #: Messages delivered by the scheduler.
+    messages_delivered: int = 0
+    #: Pump cycles executed, per section origin.
+    cycles: dict[str, int] = field(default_factory=dict)
+    #: Cycles that found no data (nil policy upstream), per origin.
+    nil_cycles: dict[str, int] = field(default_factory=dict)
+    #: Virtual (or real) time at snapshot.
+    time: float = 0.0
+    #: User-level threads created for the pipeline.
+    threads: int = 0
+
+    def items_out(self, component_name: str) -> int:
+        return self.components.get(component_name, {}).get("items_out", 0)
+
+    def items_in(self, component_name: str) -> int:
+        return self.components.get(component_name, {}).get("items_in", 0)
+
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"time={self.time:.6f}s threads={self.threads} "
+            f"ctx-switches={self.context_switches} "
+            f"coroutine-switches={self.coroutine_switches} "
+            f"messages={self.messages_delivered}"
+        ]
+        for name, counters in sorted(self.components.items()):
+            interesting = {
+                k: v
+                for k, v in counters.items()
+                if isinstance(v, int) and v
+            }
+            if interesting:
+                pretty = " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+                lines.append(f"  {name}: {pretty}")
+        return "\n".join(lines)

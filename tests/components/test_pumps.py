@@ -1,0 +1,91 @@
+"""Unit tests for pumps."""
+
+import pytest
+
+from repro import ClockedPump, FeedbackPump, GreedyPump
+from repro.core.component import Role
+from repro.core.events import Event
+from repro.core.polarity import Mode, Polarity
+
+
+class TestPumpStructure:
+    def test_both_ends_active(self):
+        pump = GreedyPump()
+        assert pump.in_port.mode is Mode.PULL
+        assert pump.out_port.mode is Mode.PUSH
+        assert pump.in_port.polarity is Polarity.POSITIVE
+        assert pump.out_port.polarity is Polarity.POSITIVE
+
+    def test_role_and_origin(self):
+        pump = GreedyPump()
+        assert pump.role is Role.PUMP
+        assert pump.is_activity_origin
+
+    def test_start_stop_events_toggle_running(self):
+        pump = GreedyPump()
+        assert not pump.running
+        pump.handle_event(Event(kind="start"))
+        assert pump.running
+        pump.handle_event(Event(kind="pause"))
+        assert not pump.running
+        pump.handle_event(Event(kind="resume"))
+        assert pump.running
+        pump.handle_event(Event(kind="stop"))
+        assert not pump.running
+
+
+class TestClockedPump:
+    def test_period_from_rate(self):
+        assert ClockedPump(25).period() == pytest.approx(0.04)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ClockedPump(0)
+        with pytest.raises(ValueError):
+            ClockedPump(-5)
+
+    def test_timing_tag(self):
+        assert ClockedPump(10).timing == "clocked"
+        assert GreedyPump().timing == "greedy"
+
+
+class TestFeedbackPump:
+    def test_set_rate_clamps_to_bounds(self):
+        pump = FeedbackPump(10, min_rate_hz=1.0, max_rate_hz=100.0)
+        pump.set_rate(1000.0)
+        assert pump.rate_hz == 100.0
+        pump.set_rate(0.001)
+        assert pump.rate_hz == 1.0
+
+    def test_set_rate_event(self):
+        pump = FeedbackPump(10)
+        pump.handle_event(Event(kind="set-rate", payload=42.0))
+        assert pump.rate_hz == 42.0
+
+    def test_rate_changes_recorded(self):
+        pump = FeedbackPump(10)
+        pump.set_rate(20)
+        pump.set_rate(30)
+        assert pump.rate_changes == [20, 30]
+
+    def test_rate_listener_invoked(self):
+        pump = FeedbackPump(10)
+        applied = []
+        pump._rate_listener = applied.append
+        pump.set_rate(25)
+        assert applied == [25]
+
+    def test_initial_rate_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackPump(0)
+
+
+class TestGreedyPump:
+    def test_max_items_attribute(self):
+        assert GreedyPump(max_items=5).max_items == 5
+        assert GreedyPump().max_items is None
+
+    def test_priority_and_reservation_attributes(self):
+        pump = GreedyPump(priority=3, reservation=0.5)
+        assert pump.priority == 3
+        assert pump.reservation == 0.5

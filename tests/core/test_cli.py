@@ -1,0 +1,64 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_describe_prints_allocation(capsys):
+    code = main(["describe",
+                 "counting(limit=3) >> greedy_pump >> collect"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "coroutine(s)" in out
+    assert "end-to-end flow:" in out
+
+
+def test_run_to_completion_prints_stats(capsys):
+    code = main(["run", "counting(limit=5) >> greedy_pump >> collect"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "items_in=5" in out
+
+
+def test_run_with_horizon(capsys):
+    code = main([
+        "run", "counting >> clocked_pump(10) >> collect", "--until", "1.0",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "items_in=1" in out  # 10-ish items: summary shows items_in=1x
+    assert "time=" in out
+
+
+def test_run_thread_backend(capsys):
+    code = main([
+        "run",
+        "counting(limit=4) >> greedy_pump >> collect",
+        "--backend", "thread",
+    ])
+    assert code == 0
+
+
+def test_components_lists_factories(capsys):
+    code = main(["components"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("mpeg_file", "decoder", "clocked_pump", "display"):
+        assert name in out
+
+
+def test_errors_reported_cleanly(capsys):
+    code = main(["describe", "nonsense_factory >> collect"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error:" in err
+
+
+def test_description_from_file(tmp_path, capsys):
+    spec = tmp_path / "player.ipc"
+    spec.write_text("counting(limit=2) >> greedy_pump >> collect\n")
+    code = main(["run", str(spec)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "items_in=2" in out

@@ -1,0 +1,167 @@
+"""Unit tests for the component/port model."""
+
+import pytest
+
+from repro.core import Event, Mode, Polarity
+from repro.core.component import Component, Role
+from repro.core.styles import Consumer, FunctionComponent, Producer
+from repro.core.typespec import Typespec
+from repro.errors import PolarityError, PortError
+
+
+class Doubler(FunctionComponent):
+    def convert(self, item):
+        return item * 2
+
+
+class TestPorts:
+    def test_linear_component_has_in_and_out(self):
+        c = Doubler()
+        assert c.in_port.is_input
+        assert not c.out_port.is_input
+        assert c.in_port.qualified_name().endswith(".in")
+
+    def test_duplicate_port_rejected(self):
+        c = Doubler()
+        with pytest.raises(PortError):
+            c.add_in_port("in")
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(PortError):
+            Doubler().port("sideways")
+
+    def test_fresh_names_are_unique_and_kebab(self):
+        a, b = Doubler(), Doubler()
+        assert a.name != b.name
+        assert a.name.startswith("doubler-")
+
+    def test_explicit_name_wins(self):
+        assert Doubler(name="decode").name == "decode"
+
+
+class TestModePropagation:
+    def test_fix_port_mode_propagates_through_links(self):
+        c = Doubler()
+        c.fix_port_mode("in", Mode.PUSH)
+        assert c.out_port.mode is Mode.PUSH
+        assert c.in_port.polarity is Polarity.NEGATIVE
+        assert c.out_port.polarity is Polarity.POSITIVE
+
+    def test_fix_port_mode_idempotent(self):
+        c = Doubler()
+        c.fix_port_mode("in", Mode.PULL)
+        c.fix_port_mode("in", Mode.PULL)
+        assert c.in_port.mode is Mode.PULL
+
+    def test_fix_port_mode_conflict_raises(self):
+        c = Doubler()
+        c.fix_port_mode("in", Mode.PULL)
+        with pytest.raises(PolarityError):
+            c.fix_port_mode("out", Mode.PUSH)
+
+    def test_propagation_crosses_connections(self):
+        from repro.core.composition import connect
+
+        a, b, c = Doubler(), Doubler(), Doubler()
+        connect(a.out_port, b.in_port)
+        connect(b.out_port, c.in_port)
+        a.fix_port_mode("in", Mode.PUSH)
+        # the whole α → α chain acquires the induced polarity
+        assert c.out_port.mode is Mode.PUSH
+
+
+class TestEvents:
+    def test_handle_event_dispatches_to_on_method(self):
+        calls = []
+
+        class WithHandler(Consumer):
+            def push(self, item):
+                pass
+
+            def on_window_resize(self, event):
+                calls.append(event.payload)
+
+        c = WithHandler()
+        c.handle_event(Event(kind="window-resize", payload=(1, 2)))
+        assert calls == [(1, 2)]
+
+    def test_unknown_event_is_ignored(self):
+        Doubler().handle_event(Event(kind="nonsense"))
+
+    def test_send_event_outside_pipeline_raises(self):
+        with pytest.raises(PortError):
+            Doubler().send_event("start")
+
+
+class TestCpuAccounting:
+    def test_charge_accumulates_and_drains(self):
+        c = Doubler()
+        c.charge(0.1)
+        c.charge(0.2)
+        assert c.drain_cost() == pytest.approx(0.3)
+        assert c.drain_cost() == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Doubler().charge(-1)
+
+
+class TestTypespecHooks:
+    def test_default_transform_is_identity(self):
+        spec = Typespec(a=1)
+        assert Doubler().transform_typespec(spec) == spec
+
+    def test_output_props_are_stamped(self):
+        class Decoder(Doubler):
+            output_props = {"format": "raw"}
+
+        out = Decoder().transform_typespec(Typespec(format="mpeg"))
+        assert out["format"] == "raw"
+
+    def test_accepts_returns_input_spec(self):
+        class Picky(Doubler):
+            input_spec = Typespec(format="mpeg")
+
+        assert Picky().accepts()["format"] == "mpeg"
+
+
+class TestRuntimeHooks:
+    def test_receive_push_dispatches_and_counts(self):
+        collected = []
+
+        class Collector(Consumer):
+            def push(self, item):
+                collected.append(item)
+
+        c = Collector()
+        c.receive_push("x")
+        assert collected == ["x"]
+        assert c.stats["items_in"] == 1
+
+    def test_serve_pull_dispatches_and_counts(self):
+        class Once(Producer):
+            def pull(self):
+                return 42
+
+        c = Once()
+        assert c.serve_pull() == 42
+        assert c.stats["items_out"] == 1
+
+    def test_receive_push_on_producer_fails(self):
+        class P(Producer):
+            def pull(self):
+                return 1
+
+        with pytest.raises(PortError):
+            P().receive_push("x")
+
+    def test_serve_pull_on_consumer_fails(self):
+        class C(Consumer):
+            def push(self, item):
+                pass
+
+        with pytest.raises(PortError):
+            C().serve_pull()
+
+    def test_roles(self):
+        assert Doubler().role is Role.TRANSFORM

@@ -1,0 +1,171 @@
+"""Unit tests for pipeline composition and Typespec derivation."""
+
+import pytest
+
+from repro import (
+    Buffer,
+    ClockedPump,
+    CollectSink,
+    CompositionError,
+    GreedyPump,
+    IterSource,
+    MapFilter,
+    Pipeline,
+    TypespecMismatch,
+    connect,
+    pipeline,
+)
+from repro.core.polarity import Mode
+from repro.core.typespec import Interval, Typespec
+from repro.errors import PortError
+
+
+def ident(name=None, **kw):
+    return MapFilter(lambda x: x, name=name, **kw)
+
+
+class TestRshift:
+    def test_builds_pipeline_in_order(self):
+        src, pump, sink = IterSource([1]), GreedyPump(), CollectSink()
+        pipe = src >> pump >> sink
+        assert pipe.components == [src, pump, sink]
+        assert pipe.is_complete()
+
+    def test_pipeline_rshift_component(self):
+        src, f, pump, sink = IterSource([1]), ident(), GreedyPump(), CollectSink()
+        pipe = (src >> f) >> (pump >> sink)
+        assert pipe.is_complete()
+        assert len(pipe) == 4
+
+    def test_pipeline_function_equivalent(self):
+        src, pump, sink = IterSource([1]), GreedyPump(), CollectSink()
+        pipe = pipeline(src, pump, sink)
+        assert pipe.is_complete()
+
+    def test_component_reuse_is_rejected(self):
+        f = ident()
+        IterSource([1]) >> f
+        with pytest.raises(PortError):
+            IterSource([2]) >> f
+
+    def test_rshift_needs_single_free_ports(self):
+        src1, src2 = IterSource([1]), IterSource([2])
+        two_tails = Pipeline([src1, src2])
+        with pytest.raises(PortError):
+            two_tails >> CollectSink()
+
+
+class TestPolarityChecking:
+    def test_same_polarity_connection_rejected(self):
+        # Buffer out receives pulls; buffer in receives pushes: both
+        # negative -> composition error, a pump is needed in between.
+        with pytest.raises(CompositionError):
+            Buffer() >> Buffer()
+
+    def test_passive_source_to_passive_sink_rejected(self):
+        with pytest.raises(CompositionError):
+            IterSource([1]) >> CollectSink()
+
+    def test_filter_chain_induces_polarity_from_pump(self):
+        src, f1, f2, pump, sink = (
+            IterSource([1]), ident(), ident(), GreedyPump(), CollectSink()
+        )
+        src >> f1 >> f2 >> pump >> sink
+        assert f1.in_port.mode is Mode.PULL
+        assert f2.out_port.mode is Mode.PULL
+
+    def test_filter_chain_cannot_close_both_passive_ends(self):
+        src, f = IterSource([1]), ident()
+        src >> f  # filter chain induced to pull mode
+        with pytest.raises(CompositionError):
+            Pipeline([f]) >> CollectSink()  # sink needs push
+
+
+class TestTypespecDerivation:
+    def test_incompatible_item_types_raise_at_connect(self):
+        src = IterSource([1], flow_spec=Typespec(item_type="audio"))
+        picky = ident(input_spec=Typespec(item_type="video"))
+        with pytest.raises(TypespecMismatch):
+            src >> picky
+
+    def test_transform_enables_downstream_match(self):
+        src = IterSource([1], flow_spec=Typespec(format="mpeg"))
+        decoder = ident(
+            input_spec=Typespec(format="mpeg"),
+            output_props={"format": "raw"},
+        )
+        sink = CollectSink(input_spec=Typespec(format="raw"))
+        pipe = src >> decoder >> GreedyPump() >> sink
+        assert pipe.end_to_end_typespec()["format"] == "raw"
+
+    def test_direct_connection_fails_without_transform(self):
+        src = IterSource([1], flow_spec=Typespec(format="mpeg"))
+        sink_spec = Typespec(format="raw")
+        with pytest.raises(TypespecMismatch):
+            src >> GreedyPump() >> CollectSink(input_spec=sink_spec)
+
+    def test_qos_ranges_narrow_along_the_pipeline(self):
+        src = IterSource([1], flow_spec=Typespec(frame_rate=Interval(0, 60)))
+        limited = ident(input_spec=Typespec(frame_rate=Interval(0, 30)))
+        pipe = src >> limited >> GreedyPump() >> CollectSink()
+        spec = pipe.typespec_at(limited.out_port)
+        assert spec["frame_rate"] == Interval(0, 30)
+
+    def test_typespec_at_input_port(self):
+        src = IterSource([1], flow_spec=Typespec(a=1))
+        pump, sink = GreedyPump(), CollectSink()
+        pipe = src >> pump >> sink
+        assert pipe.typespec_at(sink.in_port)["a"] == 1
+
+    def test_end_to_end_requires_single_sink(self):
+        pipe = Pipeline([IterSource([1])])
+        with pytest.raises(PortError):
+            pipe.end_to_end_typespec()
+
+
+class TestPipelineQueries:
+    def test_component_lookup_by_name(self):
+        pump = GreedyPump(name="the-pump")
+        pipe = IterSource([1]) >> pump >> CollectSink()
+        assert pipe.component("the-pump") is pump
+        with pytest.raises(PortError):
+            pipe.component("ghost")
+
+    def test_sources_and_sinks(self):
+        src, sink = IterSource([1]), CollectSink()
+        pipe = src >> GreedyPump() >> sink
+        assert pipe.sources() == [src]
+        assert pipe.sinks() == [sink]
+
+    def test_free_ports_on_partial_pipeline(self):
+        src, f = IterSource([1]), ident()
+        partial = src >> f
+        assert partial.free_in_ports() == []
+        assert len(partial.free_out_ports()) == 1
+
+    def test_contains_and_iter(self):
+        src, pump, sink = IterSource([1]), GreedyPump(), CollectSink()
+        pipe = src >> pump >> sink
+        assert pump in pipe
+        assert list(pipe) == [src, pump, sink]
+
+
+class TestConnectValidation:
+    def test_connect_wrong_directions(self):
+        a, b = ident(), ident()
+        with pytest.raises(PortError):
+            connect(a.in_port, b.in_port)
+        with pytest.raises(PortError):
+            connect(a.out_port, b.out_port)
+
+    def test_double_connect_rejected(self):
+        a, b, c = ident(), ident(), ident()
+        connect(a.out_port, b.in_port)
+        with pytest.raises(PortError):
+            connect(a.out_port, c.in_port)
+
+    def test_data_cycle_rejected(self):
+        a, b = ident(), ident()
+        connect(a.out_port, b.in_port, check_typespecs=False)
+        with pytest.raises(CompositionError, match="cycle"):
+            connect(b.out_port, a.in_port)

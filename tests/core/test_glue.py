@@ -1,0 +1,229 @@
+"""Unit tests for thread/coroutine allocation (sections 3.3, 4; Figure 9)."""
+
+import pytest
+
+from repro import (
+    ActiveDefragmenter,
+    ActiveSink,
+    ActiveSource,
+    AllocationError,
+    Buffer,
+    CollectSink,
+    GreedyPump,
+    IterSource,
+    MapFilter,
+    Pipeline,
+    PullDefragmenter,
+    PushDefragmenter,
+    allocate,
+    connect,
+    pipeline,
+)
+from repro.core.glue import needs_coroutine
+from repro.core.polarity import Mode
+from repro.core.styles import Style
+
+
+def ident():
+    return MapFilter(lambda x: x)
+
+
+class TestNeedsCoroutine:
+    """The placement rules of section 3.3."""
+
+    def test_function_never(self):
+        assert not needs_coroutine(Style.FUNCTION, Mode.PUSH)
+        assert not needs_coroutine(Style.FUNCTION, Mode.PULL)
+
+    def test_consumer_only_in_pull_mode(self):
+        assert not needs_coroutine(Style.CONSUMER, Mode.PUSH)
+        assert needs_coroutine(Style.CONSUMER, Mode.PULL)
+
+    def test_producer_only_in_push_mode(self):
+        assert needs_coroutine(Style.PRODUCER, Mode.PUSH)
+        assert not needs_coroutine(Style.PRODUCER, Mode.PULL)
+
+    def test_active_always(self):
+        assert needs_coroutine(Style.ACTIVE, Mode.PUSH)
+        assert needs_coroutine(Style.ACTIVE, Mode.PULL)
+
+
+class TestSectionDiscovery:
+    def test_single_section_pipeline(self):
+        pipe = IterSource([1]) >> GreedyPump() >> CollectSink()
+        plan = allocate(pipe)
+        assert len(plan.sections) == 1
+        assert plan.sections[0].coroutine_count == 1
+        assert plan.total_threads == 1
+
+    def test_buffer_splits_sections(self):
+        pipe = pipeline(
+            IterSource([1]), GreedyPump(), Buffer(), GreedyPump(),
+            CollectSink()
+        )
+        plan = allocate(pipe)
+        assert len(plan.sections) == 2
+        assert plan.total_threads == 2
+
+    def test_modes_assigned_around_pump(self):
+        up, down = ident(), ident()
+        pump = GreedyPump()
+        pipe = pipeline(IterSource([1]), up, pump, down, CollectSink())
+        plan = allocate(pipe)
+        section = plan.sections[0]
+        assert section.stage_for(up).mode is Mode.PULL
+        assert section.stage_for(down).mode is Mode.PUSH
+
+    def test_active_endpoints_are_origins(self):
+        class Ticker(ActiveSource):
+            def generate(self):
+                return 1
+
+        class Eater(ActiveSink):
+            def consume(self, item):
+                pass
+
+        pipe = pipeline(Ticker(rate_hz=10), Buffer(), Eater(rate_hz=10))
+        plan = allocate(pipe)
+        assert len(plan.sections) == 2
+
+    def test_incomplete_pipeline_rejected(self):
+        partial = IterSource([1]) >> GreedyPump()
+        with pytest.raises(AllocationError, match="unconnected"):
+            allocate(partial)
+
+    def test_two_pumps_in_one_section_unrepresentable(self):
+        # Adjacent pumps conflict at connect time (push out-port into pull
+        # in-port), and a filter chain between them just propagates the
+        # conflict — the polarity system makes the two-origins error
+        # unrepresentable before allocation even runs.
+        from repro import CompositionError
+
+        with pytest.raises(CompositionError):
+            pipeline(IterSource([1]), GreedyPump(), GreedyPump(),
+                     CollectSink())
+        with pytest.raises(CompositionError):
+            pipeline(IterSource([1]), GreedyPump(), ident(), GreedyPump(),
+                     CollectSink())
+
+    def test_allocation_is_stable_across_calls(self):
+        pipe = IterSource([1]) >> GreedyPump() >> CollectSink()
+        first = allocate(pipe).describe()
+        second = allocate(pipe).describe()
+        assert first == second
+
+
+FIG9_CONFIGS = {
+    # key: (first stage, second stage, pump position, expected coroutines)
+    "a": ("producer", "consumer", "mid", 1),
+    "b": ("function", "function", "mid", 1),
+    "c": ("consumer", "consumer", "head", 1),
+    "d": ("main", "function", "mid", 2),
+    "e": ("consumer", "producer", "mid", 3),
+    "f": ("main", "main", "mid", 3),
+    "g": ("consumer", "main", "head", 2),
+    "h": ("consumer", "producer", "head", 2),
+}
+
+
+def make_stage(style):
+    return {
+        "producer": PullDefragmenter,
+        "consumer": PushDefragmenter,
+        "function": ident,
+        "main": ActiveDefragmenter,
+    }[style]()
+
+
+class TestFigure9:
+    """The eight configurations of Figure 9: a, b, c need a single
+    coroutine (the pump's own thread); d, g, h a set of two; e, f a set
+    of three."""
+
+    @pytest.mark.parametrize("key", sorted(FIG9_CONFIGS))
+    def test_configuration(self, key):
+        first_style, second_style, position, expected = FIG9_CONFIGS[key]
+        src, sink, pump = IterSource(range(8)), CollectSink(), GreedyPump()
+        first, second = make_stage(first_style), make_stage(second_style)
+        if position == "mid":
+            chain = [src, first, pump, second, sink]
+        elif position == "head":
+            chain = [src, pump, first, second, sink]
+        else:
+            chain = [src, first, second, pump, sink]
+        plan = allocate(pipeline(*chain))
+        assert plan.sections[0].coroutine_count == expected
+
+    def test_direct_members_match_complement(self):
+        src, sink, pump = IterSource(range(4)), CollectSink(), GreedyPump()
+        cons, prod = PushDefragmenter(), PullDefragmenter()
+        plan = allocate(pipeline(src, pump, cons, prod, sink))
+        section = plan.sections[0]
+        assert cons in section.direct_members      # consumer in push mode
+        assert prod in section.coroutine_members   # producer in push mode
+
+    def test_report_mentions_placements(self):
+        src, sink, pump = IterSource(range(4)), CollectSink(), GreedyPump()
+        plan = allocate(pipeline(src, pump, ActiveDefragmenter(), sink))
+        report = plan.report()
+        assert "coroutine" in report
+        assert "push mode" in report
+
+
+class TestSharing:
+    def test_shared_components_detected_below_merge(self):
+        from repro import MergeTee
+
+        a, b = IterSource([1]), IterSource([2])
+        pa, pb = GreedyPump(), GreedyPump()
+        merge, tail, sink = MergeTee(2), ident(), CollectSink()
+        pipe = Pipeline([a, pa, b, pb, merge, tail, sink])
+        pipe.connect(a.out_port, pa.in_port)
+        pipe.connect(pa.out_port, merge.port("in0"))
+        pipe.connect(b.out_port, pb.in_port)
+        pipe.connect(pb.out_port, merge.port("in1"))
+        pipe.connect(merge.out_port, tail.in_port)
+        pipe.connect(tail.out_port, sink.in_port)
+        plan = allocate(pipe)
+        assert merge in plan.shared_components
+        assert tail in plan.shared_components
+
+    def test_shared_coroutine_style_rejected(self):
+        from repro import MergeTee
+
+        a, b = IterSource([1]), IterSource([2])
+        pa, pb = GreedyPump(), GreedyPump()
+        merge, active, sink = MergeTee(2), ActiveDefragmenter(), CollectSink()
+        pipe = Pipeline([a, pa, b, pb, merge, active, sink])
+        pipe.connect(a.out_port, pa.in_port)
+        pipe.connect(pa.out_port, merge.port("in0"))
+        pipe.connect(b.out_port, pb.in_port)
+        pipe.connect(pb.out_port, merge.port("in1"))
+        pipe.connect(merge.out_port, active.in_port)
+        pipe.connect(active.out_port, sink.in_port)
+        with pytest.raises(AllocationError, match="shared"):
+            allocate(pipe)
+
+
+class TestEventOperability:
+    def test_unhandled_local_event_rejected(self):
+        class Needy(MapFilter):
+            events_sent_downstream = frozenset({"exotic-event"})
+
+        pipe = pipeline(
+            IterSource([1]), GreedyPump(), Needy(lambda x: x), CollectSink()
+        )
+        with pytest.raises(AllocationError, match="exotic-event"):
+            allocate(pipe)
+
+    def test_handled_local_event_accepted(self):
+        class Needy(MapFilter):
+            events_sent_downstream = frozenset({"exotic-event"})
+
+        class Handler(CollectSink):
+            events_handled = frozenset({"exotic-event"})
+
+        pipe = pipeline(
+            IterSource([1]), GreedyPump(), Needy(lambda x: x), Handler()
+        )
+        allocate(pipe)  # must not raise

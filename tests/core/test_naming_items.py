@@ -1,0 +1,60 @@
+"""Unit tests for naming, items and the error hierarchy."""
+
+import pytest
+
+from repro.core.items import NIL, is_nil
+from repro.core.naming import camel_to_kebab, fresh_name
+from repro import errors
+
+
+class TestNaming:
+    def test_camel_to_kebab(self):
+        assert camel_to_kebab("MpegFileSource") == "mpeg-file-source"
+        assert camel_to_kebab("IOFilter") == "io-filter"
+        assert camel_to_kebab("already_snake") == "already-snake"
+        assert camel_to_kebab("simple") == "simple"
+
+    def test_fresh_names_increment_per_prefix(self):
+        a = fresh_name("UnitTestWidget")
+        b = fresh_name("UnitTestWidget")
+        assert a != b
+        assert a.startswith("unit-test-widget-")
+        prefix, _, counter_a = a.rpartition("-")
+        _, _, counter_b = b.rpartition("-")
+        assert int(counter_b) == int(counter_a) + 1
+
+
+class TestNil:
+    def test_nil_singleton_and_falsy(self):
+        assert is_nil(NIL)
+        assert not NIL
+        assert not is_nil(None)
+        assert not is_nil(0)
+        assert repr(NIL) == "NIL"
+
+    def test_nil_survives_reconstruction(self):
+        from repro.core.items import _Nil
+
+        assert _Nil() is NIL
+
+
+class TestErrorHierarchy:
+    def test_all_framework_errors_are_infopipe_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.InfopipeError:
+                assert issubclass(obj, errors.InfopipeError), name
+
+    def test_composition_vs_runtime_split(self):
+        assert issubclass(errors.PolarityError, errors.CompositionError)
+        assert issubclass(errors.TypespecMismatch, errors.CompositionError)
+        assert issubclass(errors.AllocationError, errors.CompositionError)
+        assert issubclass(errors.DeadlockError, errors.RuntimeFault)
+        assert issubclass(errors.MarshalError, errors.RuntimeFault)
+        assert not issubclass(errors.CompositionError, errors.RuntimeFault)
+
+    def test_typespec_mismatch_carries_conflicts(self):
+        exc = errors.TypespecMismatch("boom", conflicts={"a": (1, 2)})
+        assert exc.conflicts == {"a": (1, 2)}
+        assert errors.TypespecMismatch("boom").conflicts == {}

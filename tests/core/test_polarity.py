@@ -1,0 +1,68 @@
+"""Unit tests for polarity and mode algebra (section 2.3)."""
+
+import pytest
+
+from repro.core.polarity import (
+    Direction,
+    Mode,
+    Polarity,
+    compatible,
+    mode_for,
+    polarity_for,
+)
+
+
+def test_polarity_opposites():
+    assert Polarity.POSITIVE.opposite() is Polarity.NEGATIVE
+    assert Polarity.NEGATIVE.opposite() is Polarity.POSITIVE
+    assert Polarity.POLY.opposite() is Polarity.POLY
+
+
+def test_fixedness():
+    assert Polarity.POSITIVE.fixed
+    assert Polarity.NEGATIVE.fixed
+    assert not Polarity.POLY.fixed
+
+
+def test_polarity_for_push_mode():
+    # "A positive out-port will make calls to push"
+    assert polarity_for(Direction.OUT, Mode.PUSH) is Polarity.POSITIVE
+    # "a negative in-port represents the willingness to receive a push"
+    assert polarity_for(Direction.IN, Mode.PUSH) is Polarity.NEGATIVE
+
+
+def test_polarity_for_pull_mode():
+    # "a positive in-port will make calls to pull"
+    assert polarity_for(Direction.IN, Mode.PULL) is Polarity.POSITIVE
+    # "a negative out-port has the ability to receive a pull"
+    assert polarity_for(Direction.OUT, Mode.PULL) is Polarity.NEGATIVE
+
+
+def test_polarity_for_unresolved_is_poly():
+    assert polarity_for(Direction.IN, None) is Polarity.POLY
+    assert polarity_for(Direction.OUT, None) is Polarity.POLY
+
+
+@pytest.mark.parametrize("direction", [Direction.IN, Direction.OUT])
+@pytest.mark.parametrize("mode", [Mode.PUSH, Mode.PULL])
+def test_mode_for_inverts_polarity_for(direction, mode):
+    assert mode_for(direction, polarity_for(direction, mode)) is mode
+
+
+def test_mode_for_poly_is_none():
+    assert mode_for(Direction.IN, Polarity.POLY) is None
+
+
+def test_compatibility_requires_opposite_fixed_polarities():
+    # "ports with opposite polarity may be connected"
+    assert compatible(Polarity.POSITIVE, Polarity.NEGATIVE)
+    assert compatible(Polarity.NEGATIVE, Polarity.POSITIVE)
+    # "an attempt to connect two ports with the same polarity is an error"
+    assert not compatible(Polarity.POSITIVE, Polarity.POSITIVE)
+    assert not compatible(Polarity.NEGATIVE, Polarity.NEGATIVE)
+
+
+def test_poly_is_compatible_with_everything():
+    for other in Polarity:
+        assert compatible(Polarity.POLY, other)
+        assert compatible(other, Polarity.POLY)

@@ -1,0 +1,120 @@
+"""Unit tests for the four activity styles."""
+
+import pytest
+
+from repro.core.styles import (
+    ActiveComponent,
+    Consumer,
+    EndOfStream,
+    FunctionComponent,
+    Producer,
+    PullOp,
+    PushOp,
+    Style,
+)
+from repro.errors import RuntimeFault
+
+
+class TestStyleTags:
+    def test_styles(self):
+        class C(Consumer):
+            def push(self, item):
+                pass
+
+        class P(Producer):
+            def pull(self):
+                return 1
+
+        class F(FunctionComponent):
+            def convert(self, item):
+                return item
+
+        class A(ActiveComponent):
+            def run(self):
+                yield self.pull()
+
+        assert C().style is Style.CONSUMER
+        assert P().style is Style.PRODUCER
+        assert F().style is Style.FUNCTION
+        assert A().style is Style.ACTIVE
+
+
+class TestConsumer:
+    def test_put_outside_pipeline_raises(self):
+        class C(Consumer):
+            def push(self, item):
+                self.put(item)
+
+        with pytest.raises(RuntimeFault):
+            C().push(1)
+
+    def test_put_uses_installed_emitter(self):
+        class C(Consumer):
+            def push(self, item):
+                self.put(item * 2)
+
+        c = C()
+        out = []
+        c._emitters["out"] = out.append
+        c.push(21)
+        assert out == [42]
+        assert c.stats["items_out"] == 1
+
+
+class TestProducer:
+    def test_get_outside_pipeline_raises(self):
+        class P(Producer):
+            def pull(self):
+                return self.get()
+
+        with pytest.raises(RuntimeFault):
+            P().pull()
+
+    def test_get_uses_installed_intake(self):
+        class P(Producer):
+            def pull(self):
+                return self.get() + 1
+
+        p = P()
+        p._intakes["in"] = lambda: 41
+        assert p.pull() == 42
+
+
+class TestActive:
+    def test_ops_capture_arguments(self):
+        class A(ActiveComponent):
+            def run(self):
+                yield self.pull()
+
+        a = A()
+        assert a.pull() == PullOp("in")
+        assert a.pull("side") == PullOp("side")
+        assert a.push(5) == PushOp(5, "out")
+        assert a.push(5, "aux") == PushOp(5, "aux")
+
+    def test_body_detection(self):
+        class GenOnly(ActiveComponent):
+            def run(self):
+                yield self.pull()
+
+        class BlockingOnly(ActiveComponent):
+            def run_blocking(self, api):
+                api.pull()
+
+        class Neither(ActiveComponent):
+            pass
+
+        assert GenOnly().has_generator_body()
+        assert not GenOnly().has_blocking_body()
+        assert BlockingOnly().has_blocking_body()
+        assert not BlockingOnly().has_generator_body()
+        with pytest.raises(NotImplementedError):
+            Neither().run()
+        with pytest.raises(NotImplementedError):
+            Neither().run_blocking(None)
+
+
+def test_end_of_stream_is_ordinary_exception():
+    # Components may catch it to flush; it must not derive BaseException
+    # tricks that skip except Exception blocks.
+    assert issubclass(EndOfStream, Exception)

@@ -1,0 +1,171 @@
+"""Unit tests for Typespecs (section 2.3)."""
+
+import pytest
+
+from repro.core.typespec import (
+    ANY,
+    Choices,
+    Interval,
+    Typespec,
+    intersect_values,
+    normalize,
+    props,
+    value_is_subset,
+)
+from repro.errors import TypespecMismatch
+
+
+# ------------------------------------------------------------ property values
+
+
+class TestValues:
+    def test_normalize_sets_to_choices(self):
+        assert normalize({1, 2}) == Choices([1, 2])
+        assert normalize([1, 2]) == Choices([1, 2])
+        # canonical form: a singleton choice IS the scalar
+        assert normalize(frozenset([1])) == 1
+        assert normalize(Choices([1])) == 1
+        with pytest.raises(ValueError):
+            normalize(set())
+
+    def test_normalize_rejects_ambiguous_tuple(self):
+        with pytest.raises(TypeError):
+            normalize((1, 2))
+
+    def test_normalize_passthrough(self):
+        assert normalize(ANY) is ANY
+        interval = Interval(1, 2)
+        assert normalize(interval) is interval
+        assert normalize("mpeg") == "mpeg"
+
+    def test_interval_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_interval_contains(self):
+        assert 1.5 in Interval(1, 2)
+        assert 1 in Interval(1, 2)
+        assert 2 in Interval(1, 2)
+        assert 2.1 not in Interval(1, 2)
+
+    def test_any_intersect_is_identity(self):
+        assert intersect_values(ANY, 5) == 5
+        assert intersect_values(5, ANY) == 5
+        assert intersect_values(ANY, ANY) is ANY
+
+    def test_choices_intersect(self):
+        assert intersect_values(Choices([1, 2, 3]), Choices([2, 3, 4])) == \
+            Choices([2, 3])
+        assert intersect_values(Choices([1]), Choices([2])) is None
+
+    def test_choices_singleton_simplifies_to_scalar(self):
+        assert intersect_values(Choices([1, 2]), Choices([2, 3])) == 2
+
+    def test_scalar_intersections(self):
+        assert intersect_values(5, 5) == 5
+        assert intersect_values(5, 6) is None
+        assert intersect_values("a", "a") == "a"
+
+    def test_interval_intersections(self):
+        assert intersect_values(Interval(0, 10), Interval(5, 20)) == \
+            Interval(5, 10)
+        assert intersect_values(Interval(0, 1), Interval(2, 3)) is None
+        assert intersect_values(Interval(0, 10), 5) == 5
+        assert intersect_values(Interval(0, 10), 50) is None
+
+    def test_choices_interval_mixed(self):
+        assert intersect_values(Choices([1, 5, 50]), Interval(0, 10)) == \
+            Choices([1, 5])
+        assert intersect_values(Choices([50]), Interval(0, 10)) is None
+
+    def test_value_subset(self):
+        assert value_is_subset(5, ANY)
+        assert not value_is_subset(ANY, 5)
+        assert value_is_subset(5, Interval(0, 10))
+        assert value_is_subset(Interval(2, 3), Interval(0, 10))
+        assert not value_is_subset(Interval(0, 10), Interval(2, 3))
+        assert value_is_subset(Choices([1, 2]), Choices([1, 2, 3]))
+        assert not value_is_subset(Choices([1, 4]), Choices([1, 2, 3]))
+
+
+# ------------------------------------------------------------ typespecs
+
+
+class TestTypespec:
+    def test_missing_property_is_any(self):
+        spec = Typespec(item_type="video")
+        assert spec["item_type"] == "video"
+        assert spec["anything_else"] is ANY
+
+    def test_any_values_are_dropped(self):
+        spec = Typespec(a=ANY, b=1)
+        assert "a" not in spec
+        assert len(spec) == 1
+
+    def test_with_props_is_functional(self):
+        spec = Typespec(a=1)
+        updated = spec.with_props(b=2)
+        assert "b" not in spec
+        assert updated["a"] == 1 and updated["b"] == 2
+
+    def test_with_props_any_removes(self):
+        spec = Typespec(a=1, b=2)
+        assert "a" not in spec.with_props(a=ANY)
+
+    def test_without(self):
+        spec = Typespec(a=1, b=2)
+        assert dict(spec.without("a").items()) == {"b": 2}
+
+    def test_intersect_merges_disjoint_keys(self):
+        merged = Typespec(a=1).intersect(Typespec(b=2))
+        assert merged["a"] == 1 and merged["b"] == 2
+
+    def test_intersect_narrows_shared_keys(self):
+        merged = Typespec(rate=Interval(0, 30)).intersect(
+            Typespec(rate=Interval(10, 60))
+        )
+        assert merged["rate"] == Interval(10, 30)
+
+    def test_intersect_conflict_raises_with_all_conflicts(self):
+        with pytest.raises(TypespecMismatch) as exc:
+            Typespec(a=1, b="x").intersect(Typespec(a=2, b="y"))
+        assert set(exc.value.conflicts) == {"a", "b"}
+
+    def test_compatible_with(self):
+        assert Typespec(a=1).compatible_with(Typespec(b=2))
+        assert not Typespec(a=1).compatible_with(Typespec(a=2))
+
+    def test_subset_semantics(self):
+        narrow = Typespec(rate=Interval(10, 20), fmt="mpeg")
+        wide = Typespec(rate=Interval(0, 30))
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+
+    def test_subset_missing_key_in_self_is_not_subset(self):
+        # self admits any rate; other restricts: not a subset.
+        assert not Typespec().is_subset_of(Typespec(rate=5))
+        assert Typespec().is_subset_of(Typespec())
+
+    def test_admits_concrete_values(self):
+        spec = Typespec(
+            rate=Interval(0, 30), fmt=Choices(["mpeg", "raw"]), depth=8
+        )
+        assert spec.admits(rate=25, fmt="mpeg", depth=8)
+        assert not spec.admits(rate=31)
+        assert not spec.admits(fmt="h264")
+        assert not spec.admits(depth=16)
+        assert spec.admits(unknown_prop="anything")
+
+    def test_equality_and_hash(self):
+        assert Typespec(a=1) == Typespec(a=1)
+        assert Typespec(a=1) != Typespec(a=2)
+        assert hash(Typespec(a=1)) == hash(Typespec(a=1))
+
+    def test_repr_stable(self):
+        assert repr(Typespec.any()) == "Typespec.any()"
+        assert "item_type" in repr(Typespec(item_type="x"))
+
+    def test_standard_property_names_exist(self):
+        for name in ("ITEM_TYPE", "FORMAT", "FRAME_RATE", "LATENCY",
+                     "JITTER", "BANDWIDTH", "LOCATION", "LOSS_RATE"):
+            assert isinstance(getattr(props, name), str)

@@ -1,0 +1,132 @@
+"""Figure 5: synchronous coroutine interaction ("the activity travels with
+the data").
+
+Two active components in push mode: an item pushed into the first deblocks
+it from its pull (1); it processes and pushes to the second (2), which
+deblocks (3), processes, and pushes downstream (4); the call returns (5),
+the second loops back to its pull and blocks (6), deblocking the first from
+its push (7), which finally loops to its pull and returns upstream (8).
+
+Observable consequences tested here: strict per-item phase ordering, at
+most one runnable coroutine at any time, and synchronous (unbuffered)
+hand-off — the upstream push does not complete until the item reached the
+sink.
+"""
+
+import pytest
+
+from repro import (
+    ActiveComponent,
+    CallbackSink,
+    CollectSink,
+    Engine,
+    GreedyPump,
+    IterSource,
+    allocate,
+    pipeline,
+)
+
+
+def build(trace):
+    class Stage(ActiveComponent):
+        def __init__(self, tag):
+            super().__init__(name=f"stage-{tag}")
+            self.tag = tag
+
+        def run(self):
+            while True:
+                item = yield self.pull()
+                trace.append((f"{self.tag}-deblocked-from-pull", item))
+                yield self.push(item)
+                trace.append((f"{self.tag}-push-returned", item))
+
+    first, second = Stage("first"), Stage("second")
+    sink = CallbackSink(lambda item: trace.append(("sink", item)))
+    pipe = pipeline(
+        IterSource(range(3)), GreedyPump(), first, second, sink
+    )
+    return pipe, first, second
+
+
+def test_three_coroutine_set():
+    trace = []
+    pipe, *_ = build(trace)
+    plan = allocate(pipe)
+    # pump thread + two active components = coroutine set of three
+    assert plan.sections[0].coroutine_count == 3
+
+
+def test_handoff_sequence_per_item():
+    trace = []
+    pipe, *_ = build(trace)
+    engine = Engine(pipe)
+    engine.start()
+    engine.run()
+
+    per_item = [
+        ("first-deblocked-from-pull",),   # steps 1
+        ("second-deblocked-from-pull",),  # steps 2-3
+        ("sink",),                        # step 4
+        ("second-push-returned",),        # step 5 (then 6: blocks in pull)
+        ("first-push-returned",),         # step 7 (then 8: returns upstream)
+    ]
+    for item in range(3):
+        events = [tag for tag, payload in trace if payload == item]
+        assert events == [p[0] for p in per_item], (item, events)
+
+
+def test_items_never_interleave_between_stages():
+    """Synchronous, unbuffered hand-off: item n fully traverses the
+    coroutine set before item n+1 enters it."""
+    trace = []
+    pipe, *_ = build(trace)
+    Engine(pipe).start().run()
+    first_seen = [payload for tag, payload in trace
+                  if tag == "first-deblocked-from-pull"]
+    done = [payload for tag, payload in trace if tag == "first-push-returned"]
+    for n in range(len(done) - 1):
+        # item n's completion precedes item n+1's entry
+        entry_positions = [i for i, (t, p) in enumerate(trace)
+                           if t == "first-deblocked-from-pull" and p == n + 1]
+        completion_positions = [i for i, (t, p) in enumerate(trace)
+                                if t == "first-push-returned" and p == n]
+        assert completion_positions[0] < entry_positions[0]
+    assert first_seen == [0, 1, 2]
+
+
+def test_all_but_one_coroutine_blocked():
+    """At most one control flow in the set is ever runnable: the scheduler
+    never has two ready threads from the same coroutine set."""
+    trace = []
+    pipe, first, second = build(trace)
+    engine = Engine(pipe)
+    engine.setup()
+    section_threads = {
+        t for t in engine.scheduler.threads if t.startswith(("pump:", "coro:"))
+    }
+
+    ready_history = []
+    original_pick = engine.scheduler._pick_ready
+
+    def data_runnable(thread):
+        """Runnable on behalf of the *data* flow — a queued control event
+        (e.g. the START broadcast) does not count; the paper's invariant is
+        about the data control flow travelling with the item."""
+        if not thread.is_ready():
+            return False
+        if thread._gen is not None or thread._pending_work > 0:
+            return True
+        return any(m.kind != "event" for m in thread.mailbox)
+
+    def spying_pick():
+        ready = [
+            t.name for t in engine.scheduler.threads.values()
+            if t.name in section_threads and data_runnable(t)
+        ]
+        ready_history.append(ready)
+        return original_pick()
+
+    engine.scheduler._pick_ready = spying_pick
+    engine.start()
+    engine.run()
+    assert max((len(r) for r in ready_history), default=0) <= 1

@@ -1,0 +1,67 @@
+"""Section 4's quickstart: the five-line video player.
+
+    mpeg_file source("test.mpg");
+    mpeg_decoder decode;
+    clocked_pump pump(30); // 30 Hz
+    video_display sink;
+    source>>decode>>pump>>sink;
+    send_event(START);
+"""
+
+import pytest
+
+from repro import ClockedPump, CompositionError, Engine, allocate
+from repro.media import MpegDecoder, MpegFileSource, VideoDisplay
+
+
+def test_quickstart_player_runs_to_completion():
+    source = MpegFileSource("test.mpg", frames=150)
+    decode = MpegDecoder()
+    pump = ClockedPump(30)  # 30 Hz
+    sink = VideoDisplay()
+    player = source >> decode >> pump >> sink
+
+    engine = Engine(player)
+    engine.send_event("start")
+    engine.run()
+
+    assert sink.stats["displayed"] == 150
+    # 150 frames at 30 Hz: five seconds of virtual time
+    assert engine.now() == pytest.approx(150 / 30, rel=0.02)
+    # all shared reference frames were released (section 2.2)
+    assert decode.shared_frame_count == 0
+
+
+def test_quickstart_allocation_is_two_coroutines():
+    # The decoder is consumer-style but sits upstream of the pump (pull
+    # mode), so the middleware gives it a coroutine: a set of two.
+    player = (
+        MpegFileSource(frames=1)
+        >> MpegDecoder()
+        >> ClockedPump(30)
+        >> VideoDisplay()
+    )
+    plan = allocate(player)
+    assert len(plan.sections) == 1
+    assert plan.sections[0].coroutine_count == 2
+
+
+def test_incompatible_composition_raises():
+    """'If the components were not compatible, the composition operator >>
+    would throw an exception.'"""
+    source = MpegFileSource(frames=1)
+    display = VideoDisplay()  # expects format="raw"
+    with pytest.raises(CompositionError):
+        source >> ClockedPump(30) >> display  # nobody decoded the flow
+
+
+def test_pipeline_reports_flow_properties():
+    player = (
+        MpegFileSource(frames=1)
+        >> MpegDecoder()
+        >> ClockedPump(30)
+        >> VideoDisplay()
+    )
+    spec = player.end_to_end_typespec()
+    assert spec["item_type"] == "video-frame"
+    assert spec["format"] == "raw"

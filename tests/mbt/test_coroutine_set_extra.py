@@ -1,0 +1,99 @@
+"""Additional coroutine tests: set lifecycle, OS-thread stress, misuse."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.mbt import (
+    CoroutineSet,
+    Done,
+    GeneratorSuspendable,
+    OSThreadSuspendable,
+)
+
+
+class TestCoroutineSetLifecycle:
+    def test_close_unwinds_all_members(self):
+        unwound = []
+
+        def gen_body(tag):
+            try:
+                yield f"{tag}-req"
+            finally:
+                unwound.append(tag)
+
+        cset = CoroutineSet("s")
+        for tag in ("a", "b", "c"):
+            cset.add(tag, GeneratorSuspendable(gen_body(tag)))
+            cset.switch_to(tag)
+        cset.close()
+        assert sorted(unwound) == ["a", "b", "c"]
+
+    def test_members_listing(self):
+        cset = CoroutineSet("s")
+        cset.add("x", GeneratorSuspendable(iter(())))
+        assert cset.members() == ["x"]
+
+    def test_switch_to_active_member_rejected(self):
+        """Re-entering the currently active coroutine is a bug by
+        definition (the set is synchronous)."""
+
+        def nested():
+            # try to switch to ourselves from inside
+            cset.switch_to("self")
+            yield  # pragma: no cover
+
+        cset = CoroutineSet("s")
+        cset.add("self", GeneratorSuspendable(nested()))
+        with pytest.raises(RuntimeFault):
+            cset.switch_to("self")
+
+
+class TestOsThreadStress:
+    def test_many_sequential_suspendables(self):
+        """Creating and closing many OS-thread coroutines must not leak
+        or deadlock."""
+        for index in range(50):
+            def body(channel, i=index):
+                value = channel.call(("ping", i))
+                return value * 2
+
+            susp = OSThreadSuspendable(body)
+            request = susp.resume()
+            assert request == ("ping", index)
+            outcome = susp.resume(index)
+            assert isinstance(outcome, Done)
+            assert outcome.result == index * 2
+
+    def test_deep_handoff_chain(self):
+        """A long ping-pong across one OS-thread coroutine."""
+
+        def body(channel):
+            total = 0
+            for _ in range(500):
+                total += channel.call("more")
+            return total
+
+        susp = OSThreadSuspendable(body)
+        request = susp.resume()
+        count = 0
+        while not isinstance(request, Done):
+            count += 1
+            request = susp.resume(1)
+        assert count == 500
+        assert request.result == 500
+
+    def test_interleaved_sets(self):
+        """Two independent OS-thread coroutines interleaved arbitrarily."""
+
+        def body(channel):
+            values = [channel.call("x") for _ in range(10)]
+            return sum(values)
+
+        first, second = OSThreadSuspendable(body), OSThreadSuspendable(body)
+        r1, r2 = first.resume(), second.resume()
+        total = 0
+        for i in range(10):
+            r1 = first.resume(i)
+            r2 = second.resume(i * 10)
+        assert isinstance(r1, Done) and r1.result == sum(range(10))
+        assert isinstance(r2, Done) and r2.result == sum(range(10)) * 10

@@ -1,0 +1,179 @@
+"""Edge-case tests for the scheduler: timeouts, donations, dead letters,
+horizons, and tracing."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.mbt import (
+    CONTINUE,
+    TERMINATE,
+    Call,
+    Constraint,
+    Exit,
+    Message,
+    Receive,
+    Reply,
+    Scheduler,
+    Send,
+    VirtualClock,
+    Work,
+)
+from repro.mbt.syscalls import TIMED_OUT
+
+
+def make():
+    return Scheduler(clock=VirtualClock())
+
+
+class TestReceiveTimeouts:
+    def test_timeout_timer_cancelled_when_message_arrives(self):
+        sched = make()
+        got = []
+
+        def code(thread, msg):
+            answer = yield Receive(match=lambda m: m.kind == "ans",
+                                   timeout=10.0)
+            got.append(answer)
+            return CONTINUE
+
+        sched.spawn("t", code)
+        sched.post(Message(kind="go", target="t"))
+        sched.after(0.1, lambda: sched.post(Message(kind="ans", target="t")))
+        sched.run_until_idle()
+        assert got[0].kind == "ans"
+        # The timeout timer must not have kept the clock running to 10s.
+        assert sched.now() == pytest.approx(0.1)
+
+    def test_call_with_timeout(self):
+        sched = make()
+        outcomes = []
+
+        def silent_server(thread, msg):
+            return CONTINUE  # never replies
+
+        def client(thread, msg):
+            result = yield Call("server", "ask", timeout=0.5)
+            outcomes.append(result)
+            return CONTINUE
+
+        sched.spawn("server", silent_server)
+        sched.spawn("client", client)
+        sched.post(Message(kind="go", target="client"))
+        sched.run_until_idle()
+        assert outcomes == [TIMED_OUT]
+
+
+class TestDonations:
+    def test_donation_removed_after_reply(self):
+        sched = make()
+
+        def server(thread, msg):
+            yield Reply(msg, "done")
+            return CONTINUE
+
+        def client(thread, msg):
+            yield Call("server", "req")
+            return CONTINUE
+
+        server_thread = sched.spawn("server", server, priority=1)
+        sched.spawn("client", client, priority=9)
+        sched.post(Message(kind="go", target="client"))
+        sched.run_until_idle()
+        assert server_thread._donations == {}
+        # back at its static priority
+        assert server_thread.effective_priority() == 1
+
+
+class TestTermination:
+    def test_exit_syscall_terminates_thread(self):
+        sched = make()
+
+        def code(thread, msg):
+            yield Exit()
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        sched.spawn("t", code)
+        sched.post(Message(kind="go", target="t"))
+        sched.run_until_idle()
+        assert sched.threads["t"].terminated
+
+    def test_messages_to_terminated_thread_dead_letter(self):
+        sched = make()
+        sched.spawn("t", lambda th, m: TERMINATE)
+        sched.post(Message(kind="first", target="t"))
+        sched.run_until_idle()
+        sched.post(Message(kind="late", target="t"))
+        assert [m.kind for m in sched.dead_letters] == ["late"]
+
+    def test_remove_thread(self):
+        sched = make()
+        sched.spawn("t", lambda th, m: CONTINUE)
+        sched.remove_thread("t")
+        assert "t" not in sched.threads
+        sched.remove_thread("t")  # idempotent
+
+
+class TestHorizon:
+    def test_work_overrunning_horizon_stops_promptly(self):
+        """A thread whose simulated work crosses `until` finishes that work
+        but the scheduler then stops even with more messages queued."""
+        sched = make()
+
+        def code(thread, msg):
+            yield Work(0.4)
+            return CONTINUE
+
+        sched.spawn("t", code)
+        for _ in range(10):
+            sched.post(Message(kind="go", target="t"))
+        sched.run(until=1.0)
+        # 0.4s each: the third unit of work starts at 0.8 < 1.0 and ends at
+        # 1.2 > 1.0; nothing more runs after that.
+        assert sched.now() == pytest.approx(1.2)
+        sched.run(until=2.0)
+        # the horizon is inclusive, so a work unit may start at exactly
+        # t=until; the overrun is bounded by one work unit.
+        assert 2.0 <= sched.now() <= 2.4 + 1e-9
+
+    def test_horizon_respected_under_permanent_readiness(self):
+        sched = make()
+
+        def ping(thread, msg):
+            yield Work(0.01)
+            yield Send(Message(kind="go", sender="t", target="t"))
+            return CONTINUE
+
+        sched.spawn("t", ping)
+        sched.post(Message(kind="go", target="t"))
+        sched.run(until=0.5)
+        assert sched.now() == pytest.approx(0.5, abs=0.02)
+
+
+class TestTracing:
+    def test_trace_unavailable_unless_enabled(self):
+        sched = make()
+        with pytest.raises(SchedulerError):
+            sched.trace
+
+    def test_trace_events_filter(self):
+        sched = Scheduler(clock=VirtualClock(), trace=True)
+        sched.spawn("a", lambda th, m: CONTINUE)
+        sched.post(Message(kind="go", target="a"))
+        sched.run_until_idle()
+        kinds = {event[1] for event in sched.trace}
+        assert {"deliver", "switch", "dispatch", "done"} <= kinds
+        assert all(e[1] == "switch" for e in sched.trace_events("switch"))
+
+
+class TestConstraintEdge:
+    def test_deadline_orders_equal_priority_threads(self):
+        sched = make()
+        order = []
+        sched.spawn("a", lambda th, m: order.append("a") or CONTINUE)
+        sched.spawn("b", lambda th, m: order.append("b") or CONTINUE)
+        sched.post(Message(kind="go", target="a",
+                           constraint=Constraint(priority=1, deadline=5.0)))
+        sched.post(Message(kind="go", target="b",
+                           constraint=Constraint(priority=1, deadline=1.0)))
+        sched.run_until_idle()
+        assert order == ["b", "a"]

@@ -1,0 +1,48 @@
+"""Property-based tests for the wire codec."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.marshal import decode_item, encode_item
+
+primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=200),
+)
+
+items = st.recursive(
+    primitives,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.tuples(inner, inner),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(items)
+def test_round_trip(value):
+    assert decode_item(encode_item(value)) == value
+
+
+@given(items)
+def test_encoding_is_deterministic(value):
+    assert encode_item(value) == encode_item(value)
+
+
+@given(st.binary(max_size=500))
+def test_bytes_round_trip_exactly(data):
+    assert decode_item(encode_item(data)) == data
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=30))
+def test_video_frame_like_structures(sizes):
+    frame_dicts = [
+        {"seq": i, "size": s, "pad": b"\x00" * s}
+        for i, s in enumerate(sizes)
+    ]
+    assert decode_item(encode_item(frame_dicts)) == frame_dicts

@@ -1,0 +1,78 @@
+"""Property-based tests for the microlanguage parser."""
+
+from hypothesis import given, strategies as st
+
+from repro.lang.parser import FactoryCall, parse
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-100, max_value=100).map(
+        lambda f: round(f, 3)
+    ).filter(lambda f: f != int(f)),
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                                   whitelist_characters=" _-"),
+            max_size=10),
+    st.booleans(),
+)
+
+
+def render_literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return '"%s"' % value
+    return repr(value)
+
+
+factory_calls = st.tuples(
+    names,
+    st.lists(literals, max_size=3),
+    st.dictionaries(names, literals, max_size=3),
+)
+
+chains = st.lists(factory_calls, min_size=1, max_size=5)
+
+
+def render_chain(calls) -> str:
+    rendered = []
+    for name, args, kwargs in calls:
+        parts = [render_literal(a) for a in args]
+        parts += [f"{k}={render_literal(v)}" for k, v in kwargs.items()]
+        rendered.append(f"{name}({', '.join(parts)})")
+    return " >> ".join(rendered)
+
+
+@given(chains)
+def test_rendered_chains_parse_back(calls):
+    source = render_chain(calls)
+    (parsed,) = parse(source)
+    assert len(parsed.endpoints) == len(calls)
+    for endpoint, (name, args, kwargs) in zip(parsed.endpoints, calls):
+        assert isinstance(endpoint, FactoryCall)
+        assert endpoint.name == name
+        assert list(endpoint.args) == list(args)
+        assert endpoint.kwargs_dict() == kwargs
+
+
+@given(st.lists(chains, min_size=1, max_size=4))
+def test_multiple_statements_parse_independently(statements):
+    source = "\n".join(render_chain(calls) for calls in statements)
+    parsed = parse(source)
+    assert len(parsed) == len(statements)
+    for chain, calls in zip(parsed, statements):
+        assert len(chain.endpoints) == len(calls)
+
+
+@given(chains)
+def test_parsing_is_deterministic(calls):
+    source = render_chain(calls)
+    assert parse(source) == parse(source)
+
+
+@given(chains, st.sampled_from(["  ", "\t", "   "]))
+def test_whitespace_insensitive(calls, pad):
+    source = render_chain(calls)
+    padded = source.replace(" >> ", f"{pad}>>{pad}")
+    assert parse(source) == parse(padded)

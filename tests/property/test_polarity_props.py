@@ -1,0 +1,64 @@
+"""Property-based tests on polarity induction through filter chains."""
+
+from hypothesis import given, strategies as st
+
+from repro import MapFilter, connect
+from repro.core.polarity import (
+    Direction,
+    Mode,
+    Polarity,
+    compatible,
+    mode_for,
+    polarity_for,
+)
+
+modes = st.sampled_from([Mode.PUSH, Mode.PULL])
+directions = st.sampled_from([Direction.IN, Direction.OUT])
+
+
+@given(directions, modes)
+def test_polarity_mode_bijection(direction, mode):
+    assert mode_for(direction, polarity_for(direction, mode)) is mode
+
+
+@given(directions, directions, modes)
+def test_connection_has_opposite_polarities(direction_a, direction_b, mode):
+    """Any out/in port pair on one connection carries opposite polarity."""
+    out_polarity = polarity_for(Direction.OUT, mode)
+    in_polarity = polarity_for(Direction.IN, mode)
+    assert out_polarity is in_polarity.opposite()
+    assert compatible(out_polarity, in_polarity)
+
+
+@given(st.integers(min_value=1, max_value=8), modes,
+       st.integers(min_value=0, max_value=8))
+def test_induced_polarity_propagates_through_any_chain(length, mode, fix_at):
+    """Fixing any single port of an α→α chain resolves every port."""
+    chain = [MapFilter(lambda x: x) for _ in range(length)]
+    for left, right in zip(chain, chain[1:]):
+        connect(left.out_port, right.in_port, check_typespecs=False)
+
+    target = chain[min(fix_at, length - 1) // 1 % length]
+    target.fix_port_mode("in", mode)
+
+    for stage in chain:
+        assert stage.in_port.mode is mode
+        assert stage.out_port.mode is mode
+        # and the polarity view is the paper's: in/out opposite signs
+        assert stage.in_port.polarity is stage.out_port.polarity.opposite()
+
+
+@given(st.integers(min_value=2, max_value=8), modes)
+def test_conflicting_fixations_always_detected(length, mode):
+    """Fixing two ends of one chain to different modes must raise."""
+    from repro.errors import PolarityError
+
+    import pytest
+
+    chain = [MapFilter(lambda x: x) for _ in range(length)]
+    for left, right in zip(chain, chain[1:]):
+        connect(left.out_port, right.in_port, check_typespecs=False)
+    chain[0].fix_port_mode("in", mode)
+    other = Mode.PULL if mode is Mode.PUSH else Mode.PUSH
+    with pytest.raises(PolarityError):
+        chain[-1].fix_port_mode("out", other)

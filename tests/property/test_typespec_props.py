@@ -1,0 +1,145 @@
+"""Property-based tests for the Typespec algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.typespec import (
+    ANY,
+    Choices,
+    Interval,
+    Typespec,
+    intersect_values,
+    value_is_subset,
+)
+from repro.errors import TypespecMismatch
+
+scalars = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.sampled_from(["mpeg", "raw", "bytes", "video", "audio"]),
+)
+
+choices_values = st.frozensets(scalars, min_size=2, max_size=5).map(Choices)
+
+intervals = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=0, max_value=50),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+prop_values = st.one_of(st.just(ANY), scalars, choices_values, intervals)
+
+keys = st.sampled_from(["a", "b", "c", "item_type", "rate", "fmt"])
+
+typespecs = st.dictionaries(keys, prop_values, max_size=4).map(Typespec)
+
+
+def intersect_or_none(a, b):
+    try:
+        return a.intersect(b)
+    except TypespecMismatch:
+        return None
+
+
+# ---------------------------------------------------------------- values
+
+
+@given(prop_values, prop_values)
+def test_value_intersection_commutative(a, b):
+    assert intersect_values(a, b) == intersect_values(b, a)
+
+
+@given(prop_values)
+def test_any_is_identity(a):
+    assert intersect_values(ANY, a) == a
+    assert intersect_values(a, ANY) == a
+
+
+@given(prop_values)
+def test_value_intersection_idempotent(a):
+    assert intersect_values(a, a) == a
+
+
+@given(prop_values, prop_values, prop_values)
+def test_value_intersection_associative(a, b, c):
+    def meet(x, y):
+        if x is None or y is None:
+            return None
+        return intersect_values(x, y)
+
+    assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+
+@given(prop_values, prop_values)
+def test_meet_is_subset_of_both(a, b):
+    meet = intersect_values(a, b)
+    if meet is not None:
+        assert value_is_subset(meet, a)
+        assert value_is_subset(meet, b)
+
+
+@given(prop_values)
+def test_subset_reflexive(a):
+    assert value_is_subset(a, a)
+
+
+@given(prop_values, prop_values, prop_values)
+def test_subset_transitive(a, b, c):
+    if value_is_subset(a, b) and value_is_subset(b, c):
+        assert value_is_subset(a, c)
+
+
+# ---------------------------------------------------------------- typespecs
+
+
+@given(typespecs, typespecs)
+def test_typespec_intersection_commutative(a, b):
+    assert intersect_or_none(a, b) == intersect_or_none(b, a)
+
+
+@given(typespecs)
+def test_typespec_intersection_idempotent(a):
+    assert a.intersect(a) == a
+
+
+@given(typespecs)
+def test_any_typespec_is_identity(a):
+    assert Typespec.any().intersect(a) == a
+    assert a.intersect(Typespec.any()) == a
+
+
+@given(typespecs, typespecs, typespecs)
+def test_typespec_intersection_associative(a, b, c):
+    def meet(x, y):
+        if x is None or y is None:
+            return None
+        return intersect_or_none(x, y)
+
+    assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+
+@given(typespecs, typespecs)
+def test_meet_typespec_is_subset_of_both(a, b):
+    meet = intersect_or_none(a, b)
+    if meet is not None:
+        assert meet.is_subset_of(a)
+        assert meet.is_subset_of(b)
+
+
+@given(typespecs)
+def test_typespec_subset_reflexive(a):
+    assert a.is_subset_of(a)
+
+
+@given(typespecs, typespecs)
+def test_compatibility_matches_intersection(a, b):
+    assert a.compatible_with(b) == (intersect_or_none(a, b) is not None)
+
+
+@given(typespecs, st.dictionaries(keys, prop_values, max_size=2))
+def test_with_props_overrides(a, extra):
+    updated = a.with_props(**extra)
+    for key, value in extra.items():
+        if value is ANY:
+            assert key not in updated
+        else:
+            from repro.core.typespec import normalize
+
+            assert updated[key] == normalize(value)

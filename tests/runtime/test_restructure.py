@@ -1,0 +1,136 @@
+"""Tests for pipeline restructuring (component replacement)."""
+
+import pytest
+
+from repro import (
+    ActiveDefragmenter,
+    Buffer,
+    ClockedPump,
+    CollectSink,
+    CompositionError,
+    Engine,
+    GreedyPump,
+    MapFilter,
+    PredicateFilter,
+    RuntimeFault,
+    pipeline,
+)
+from repro.components.sources import CountingSource
+from repro.core.typespec import Typespec
+from repro.runtime.restructure import replace_component
+
+
+def paused_player(stage):
+    source = CountingSource()
+    pump = ClockedPump(10)
+    sink = CollectSink()
+    pipe = pipeline(source, pump, stage, sink)
+    engine = Engine(pipe)
+    engine.start()
+    engine.run(until=1.0)
+    engine.send_event("pause")
+    engine.run(max_steps=10_000)
+    return engine, sink
+
+
+class TestReplaceFunctionStage:
+    def test_swap_changes_behaviour_mid_stream(self):
+        old = MapFilter(lambda x: ("old", x))
+        engine, sink = paused_player(old)
+        before = len(sink.items)
+        assert all(tag == "old" for tag, _ in sink.items)
+
+        new = MapFilter(lambda x: ("new", x))
+        replace_component(engine, old, new)
+
+        engine.send_event("resume")
+        engine.run(until=2.0)
+        engine.stop()
+        engine.run(max_steps=10_000)
+        tags = [tag for tag, _ in sink.items]
+        assert tags[:before] == ["old"] * before
+        assert set(tags[before:]) == {"new"}
+        assert len(sink.items) > before
+
+    def test_swap_to_consumer_style_in_push_mode(self):
+        old = MapFilter(lambda x: x)
+        engine, sink = paused_player(old)
+        keep_even = PredicateFilter(lambda x: x % 2 == 0)
+        replace_component(engine, old, keep_even)
+        engine.send_event("resume")
+        engine.run(until=2.0)
+        engine.stop()
+        engine.run(max_steps=10_000)
+        new_items = [x for x in sink.items if x > 12]
+        assert new_items and all(x % 2 == 0 for x in new_items)
+
+    def test_old_component_is_detached(self):
+        old = MapFilter(lambda x: x)
+        engine, _ = paused_player(old)
+        replace_component(engine, old, MapFilter(lambda x: x))
+        assert old.in_port.peer is None
+        assert old.out_port.peer is None
+        assert old.name not in engine.events.receivers
+
+
+class TestRejections:
+    def test_typespec_incompatible_replacement_rolls_back(self):
+        source = CountingSource(flow_spec=Typespec(item_type="number"))
+        old = MapFilter(lambda x: x)
+        sink = CollectSink()
+        pipe = pipeline(source, ClockedPump(10), old, sink)
+        engine = Engine(pipe)
+        engine.start()
+        engine.run(until=1.0)
+        engine.send_event("pause")
+        engine.run(max_steps=10_000)
+        picky = MapFilter(lambda x: x,
+                          input_spec=Typespec(item_type="video"))
+        with pytest.raises(CompositionError):
+            replace_component(engine, old, picky)
+        # rollback: the old component still works
+        engine.send_event("resume")
+        engine.run(until=2.0)
+        engine.stop()
+        engine.run(max_steps=10_000)
+        assert len(sink.items) > 10
+
+    def test_coroutine_stage_rejected(self):
+        stage = ActiveDefragmenter()
+        engine, _ = paused_player(stage)
+        with pytest.raises(RuntimeFault, match="coroutine"):
+            replace_component(engine, stage, MapFilter(lambda x: x))
+
+    def test_replacement_needing_coroutine_rejected(self):
+        old = MapFilter(lambda x: x)
+        engine, _ = paused_player(old)
+        from repro import PullDefragmenter
+
+        with pytest.raises(CompositionError, match="coroutine"):
+            # producer style in push mode would need a wrapper
+            replace_component(engine, old, PullDefragmenter())
+
+    def test_boundary_rejected(self):
+        source = CountingSource()
+        pump1, pump2 = GreedyPump(max_items=5), ClockedPump(10)
+        buf, sink = Buffer(), CollectSink()
+        pipe = pipeline(source, pump1, buf, pump2, sink)
+        engine = Engine(pipe)
+        engine.setup()
+        with pytest.raises(RuntimeFault, match="not a direct stage"):
+            replace_component(engine, buf, Buffer())
+
+    def test_pump_rejected(self):
+        old = MapFilter(lambda x: x)
+        engine, _ = paused_player(old)
+        pump = engine.pump_drivers[0].origin
+        with pytest.raises(RuntimeFault, match="not a direct stage"):
+            replace_component(engine, pump, MapFilter(lambda x: x))
+
+    def test_already_connected_replacement_rejected(self):
+        old = MapFilter(lambda x: x)
+        engine, _ = paused_player(old)
+        connected = MapFilter(lambda x: x)
+        CountingSource() >> connected
+        with pytest.raises(CompositionError, match="already connected"):
+            replace_component(engine, old, connected)

@@ -1,0 +1,46 @@
+"""Unit tests for pipeline statistics."""
+
+from repro.runtime.stats import PipelineStats
+
+
+def test_accessors_default_to_zero():
+    stats = PipelineStats()
+    assert stats.items_in("ghost") == 0
+    assert stats.items_out("ghost") == 0
+    assert stats.total_cycles() == 0
+
+
+def test_accessors_read_component_counters():
+    stats = PipelineStats(
+        components={"sink": {"items_in": 7, "items_out": 0}},
+        cycles={"pump": 9, "pump2": 1},
+    )
+    assert stats.items_in("sink") == 7
+    assert stats.total_cycles() == 10
+
+
+def test_summary_mentions_nonzero_counters_only():
+    stats = PipelineStats(
+        components={
+            "busy": {"items_in": 3, "items_out": 3},
+            "idle": {"items_in": 0, "items_out": 0},
+        },
+        context_switches=5,
+        coroutine_switches=2,
+        time=1.5,
+        threads=2,
+    )
+    summary = stats.summary()
+    assert "busy" in summary
+    assert "idle" not in summary
+    assert "ctx-switches=5" in summary
+    assert "time=1.5" in summary
+
+
+def test_summary_skips_non_integer_stats():
+    stats = PipelineStats(
+        components={"tee": {"per_input": {"in0": 1}, "items_in": 1,
+                            "items_out": 1}},
+    )
+    assert "per_input" not in stats.summary()
+    assert "items_in=1" in stats.summary()
