@@ -1,0 +1,23 @@
+"""Scheduler hot-path perf report.
+
+Writes ``BENCH_sched_hotpath.json`` at the repository root with items/sec
+for Figure-9 config *a*, the section-4 MIDI mixer (automatic allocation),
+and the switch-vs-call cost ratio — the three numbers the ready-queue /
+compiled-walker overhaul is measured by.  The assertions here are sanity
+floors only; the interesting output is the JSON trajectory.
+"""
+
+from benchmarks.conftest import HOTPATH_REPORT, write_sched_hotpath_report
+
+
+def test_bench_sched_hotpath_report():
+    report = write_sched_hotpath_report()
+    print("\n--- scheduler hot-path report ---")
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    print(f"written to {HOTPATH_REPORT}")
+
+    assert report["fig9_a_items_per_sec"] > 0
+    assert report["midi_items_per_sec"] > 0
+    # A coroutine switch always costs more than a function call.
+    assert report["switch_vs_call_ratio"] > 1.0

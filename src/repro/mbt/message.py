@@ -10,15 +10,14 @@ paper section 4).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.mbt.constraints import Constraint
 
 _message_ids = itertools.count(1)
+_next_message_id = _message_ids.__next__
 
 
-@dataclass(slots=True)
 class Message:
     """A single message.
 
@@ -42,14 +41,35 @@ class Message:
         True for synchronous sends, where the sender blocks awaiting a reply.
     """
 
-    kind: str
-    payload: Any = None
-    sender: str = ""
-    target: str = ""
-    constraint: Constraint | None = None
-    reply_to: int | None = None
-    needs_reply: bool = False
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = (
+        "kind",
+        "payload",
+        "sender",
+        "target",
+        "constraint",
+        "reply_to",
+        "needs_reply",
+        "msg_id",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        payload: Any = None,
+        sender: str = "",
+        target: str = "",
+        constraint: Constraint | None = None,
+        reply_to: int | None = None,
+        needs_reply: bool = False,
+    ):
+        self.kind = kind
+        self.payload = payload
+        self.sender = sender
+        self.target = target
+        self.constraint = constraint
+        self.reply_to = reply_to
+        self.needs_reply = needs_reply
+        self.msg_id = _next_message_id()
 
     def make_reply(self, payload: Any = None, kind: str | None = None) -> "Message":
         """Build the reply to this message, preserving its constraint."""

@@ -13,6 +13,24 @@ interrupts a long-running video decode exactly as the paper requires
 With the default :class:`~repro.mbt.clock.VirtualClock` execution is a pure
 discrete-event simulation: deterministic, repeatable, and far faster than
 real time.
+
+The ready queue
+---------------
+Dispatch used to scan every thread and recompute its sort key on every
+pick and every preemption check — O(n) with fresh allocations each time.
+The scheduler now maintains an **indexed ready queue**: a binary heap of
+``[prio, deadline, last_ran, index, seq, thread]`` entries, one live entry
+per ready thread.  Whenever an event changes a thread's key or readiness
+(message delivery, receive, donation, message start/finish, wait set or
+cleared, priority change) the thread notifies the scheduler via
+:meth:`_reindex`, which tombstones the old entry (lazily discarded at the
+heap top) and pushes a fresh one.  ``_pick_ready`` and
+``_exists_more_urgent_ready`` are then heap peeks — O(1) amortised, O(log
+n) worst case — and, because the entry key embeds the same
+``(sort key, last_ran, index)`` tuple the linear scan used, the pick order
+is *bit-for-bit identical* to the reference linear scan
+(:meth:`_pick_ready_linear`, kept for the property-based equivalence
+tests).
 """
 
 from __future__ import annotations
@@ -20,6 +38,7 @@ from __future__ import annotations
 import heapq
 import inspect
 import itertools
+from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.errors import SchedulerError
@@ -45,6 +64,13 @@ from repro.mbt.thread import MThread, WaitState
 
 _EPS = 1e-12
 
+#: Pre-bound for the dispatch hot path (module attribute lookups add up).
+_isgenerator = inspect.isgenerator
+
+#: Default bound on the dead-letter queue; beyond it the oldest letters are
+#: dropped (and counted), so week-long runs cannot grow memory unboundedly.
+DEAD_LETTER_LIMIT = 1000
+
 
 class TimerHandle:
     """Cancellable handle returned by :meth:`Scheduler.at`."""
@@ -68,12 +94,17 @@ class Scheduler:
         clock: Clock | None = None,
         trace: bool = False,
         on_thread_error: str = "raise",
+        dead_letter_limit: int | None = DEAD_LETTER_LIMIT,
     ):
         if on_thread_error not in ("raise", "collect"):
             raise ValueError("on_thread_error must be 'raise' or 'collect'")
         self.clock = clock if clock is not None else VirtualClock()
         self.threads: dict[str, MThread] = {}
-        self.dead_letters: list[Message] = []
+        #: Undeliverable messages, newest last; bounded by
+        #: ``dead_letter_limit`` (None = unbounded).
+        self.dead_letters: deque[Message] = deque(maxlen=dead_letter_limit)
+        #: Dead letters evicted because the queue was full.
+        self.dead_letters_dropped = 0
         self.errors: list[tuple[str, BaseException]] = []
         self.on_thread_error = on_thread_error
 
@@ -92,13 +123,22 @@ class Scheduler:
         self._trace: list[tuple] | None = [] if trace else None
         self._reservations: dict[str, float] = {}
 
+        #: Indexed ready queue: heap of [prio, deadline, last_ran, index,
+        #: seq, thread] entries.  A tombstoned entry has thread slot None.
+        self._ready_heap: list[list] = []
+        self._ready_seq = itertools.count()
+        #: The thread currently being dispatched (kept out of the heap).
+        self._current: MThread | None = None
+
     # ------------------------------------------------------------ threads
 
     def add_thread(self, thread: MThread) -> MThread:
         if thread.name in self.threads:
             raise SchedulerError(f"duplicate thread name {thread.name!r}")
         thread._index = next(self._thread_seq)
+        thread._scheduler = self
         self.threads[thread.name] = thread
+        self._reindex(thread)
         return thread
 
     def spawn(self, name: str, code, priority: int = 0) -> MThread:
@@ -149,10 +189,14 @@ class Scheduler:
     def _deliver(self, message: Message) -> None:
         target = self.threads.get(message.target)
         if target is None or target.terminated:
-            self.dead_letters.append(message)
+            letters = self.dead_letters
+            if letters.maxlen is not None and len(letters) == letters.maxlen:
+                self.dead_letters_dropped += 1
+            letters.append(message)
             return
         self.messages_delivered += 1
-        self._record("deliver", message.kind, message.sender, message.target)
+        if self._trace is not None:
+            self._record("deliver", message.kind, message.sender, message.target)
         wait = target._wait
         if (
             wait is not None
@@ -163,8 +207,9 @@ class Scheduler:
                 wait.timer.cancel()
             target._wait = None
             target._resume_value = message
+            target._readiness_changed()
         else:
-            target.mailbox.put(message)
+            target.mailbox.put(message)  # mailbox listener reindexes
 
     # ------------------------------------------------------------ timers
 
@@ -228,7 +273,74 @@ class Scheduler:
     def run_until_idle(self, max_steps: int | None = None) -> None:
         self.run(until=None, max_steps=max_steps)
 
+    # ------------------------------------------------------------ ready queue
+
+    def _reindex(self, thread: MThread) -> None:
+        """Refresh ``thread``'s entry in the ready heap.
+
+        Tombstones any previous entry (discarded lazily at the heap top)
+        and, when the thread is ready and not currently dispatched, pushes
+        a fresh entry keyed exactly like the reference linear scan:
+        ``(*effective_sort_key(), last_ran, index)``.
+        """
+        entry = thread._heap_entry
+        if entry is not None:
+            entry[5] = None
+            thread._heap_entry = None
+        if (
+            thread is self._current
+            or thread.terminated
+            or not thread.is_ready()
+        ):
+            return
+        key = thread.effective_sort_key()
+        entry = [
+            key[0],
+            key[1],
+            thread._last_ran,
+            thread._index,
+            next(self._ready_seq),
+            thread,
+        ]
+        thread._heap_entry = entry
+        heapq.heappush(self._ready_heap, entry)
+
     def _pick_ready(self) -> MThread | None:
+        heap = self._ready_heap
+        while heap:
+            thread = heap[0][5]
+            if thread is None:
+                heapq.heappop(heap)
+                continue
+            return thread
+        return None
+
+    def _exists_more_urgent_ready(self, current: MThread) -> bool:
+        heap = self._ready_heap
+        while heap:
+            entry = heap[0]
+            if entry[5] is None:
+                heapq.heappop(heap)
+                continue
+            key = current.effective_sort_key()
+            return entry[0] < key[0] or (
+                entry[0] == key[0] and entry[1] < key[1]
+            )
+        return False
+
+    def _other_ready(self, current: MThread) -> bool:
+        heap = self._ready_heap
+        while heap:
+            if heap[0][5] is None:
+                heapq.heappop(heap)
+                continue
+            return True  # the dispatched thread is never in the heap
+        return False
+
+    # -- reference implementations (equivalence oracle for tests) ----------
+
+    def _pick_ready_linear(self) -> MThread | None:
+        """The original O(n) scan; must pick exactly what the heap picks."""
         best: MThread | None = None
         best_key: tuple | None = None
         for thread in self.threads.values():
@@ -239,7 +351,7 @@ class Scheduler:
                 best, best_key = thread, key
         return best
 
-    def _exists_more_urgent_ready(self, current: MThread) -> bool:
+    def _exists_more_urgent_ready_linear(self, current: MThread) -> bool:
         current_key = current.effective_sort_key()
         for thread in self.threads.values():
             if thread is current or not thread.is_ready():
@@ -253,81 +365,80 @@ class Scheduler:
     def _run_thread(self, thread: MThread) -> None:
         if self._last_running is not thread:
             self.context_switches += 1
-            self._record(
-                "switch",
-                self._last_running.name if self._last_running else None,
-                thread.name,
-            )
+            if self._trace is not None:
+                self._record(
+                    "switch",
+                    self._last_running.name if self._last_running else None,
+                    thread.name,
+                )
             self._last_running = thread
         self.steps += 1
         thread._last_ran = next(self._run_seq)
 
-        if thread._pending_work > 0.0:
-            if not self._do_work(thread):
-                return  # preempted mid-work; remainder pending
-            # fall through and resume the generator with the stored value
-
-        if thread._gen is None:
+        self._current = thread
+        entry = thread._heap_entry
+        if entry is not None:
+            entry[5] = None
+            thread._heap_entry = None
+        try:
+            # Inlined _dispatch (one frame fewer on the per-message path).
+            if thread._pending_work > 0.0:
+                if not self._do_work(thread):
+                    return  # preempted mid-work; remainder pending
+                # fall through and resume the generator with the stored value
+            if thread._gen is not None:
+                self._drive(thread)
+                return
             message = thread.mailbox.get()
             if message is None:
                 return
             thread._current_message = message
-            self._record("dispatch", thread.name, message.kind)
+            thread._key_cache = None
+            if self._trace is not None:
+                self._record("dispatch", thread.name, message.kind)
             try:
                 result = thread.code(thread, message)
             except Exception as exc:
                 self._crash(thread, exc)
                 return
-            if inspect.isgenerator(result):
+            if _isgenerator(result):
                 thread._gen = result
                 self._drive(thread, first=True)
             else:
                 self._finish_message(thread, result)
-        else:
-            self._drive(thread)
+        finally:
+            self._current = None
+            self._reindex(thread)
 
     def _drive(self, thread: MThread, first: bool = False) -> None:
         """Advance the thread's generator until it blocks or completes."""
         gen = thread._gen
-
-        def step(value: Any, exc: BaseException | None):
-            try:
-                if exc is not None:
-                    return gen.throw(exc), False, None
-                if first_step[0]:
-                    first_step[0] = False
-                    return next(gen), False, None
-                return gen.send(value), False, None
-            except StopIteration as stop:
-                return stop.value, True, None
-            except Exception as err:
-                return None, True, err
-
-        first_step = [first]
         value, exc = thread._resume_value, thread._resume_exc
         thread._resume_value = None
         thread._resume_exc = None
 
         while True:
-            request, finished, error = step(value, exc)
-            value, exc = None, None
-            if error is not None:
+            # -- one generator step -----------------------------------------
+            try:
+                if exc is not None:
+                    pending_exc, exc = exc, None
+                    request = gen.throw(pending_exc)
+                elif first:
+                    first = False
+                    request = next(gen)
+                else:
+                    request = gen.send(value)
+            except StopIteration as stop:
+                self._finish_message(thread, stop.value)
+                return
+            except Exception as error:
                 self._crash(thread, error)
                 return
-            if finished:
-                self._finish_message(thread, request)
-                return
+            value = None
 
-            if not isinstance(request, Syscall):
-                self._crash(
-                    thread,
-                    SchedulerError(
-                        f"thread {thread.name!r} yielded non-syscall {request!r}"
-                    ),
-                )
-                return
+            request_type = type(request)
 
-            if isinstance(request, Send):
+            if request_type is Send:
                 message = request.message
                 if not message.sender:
                     message.sender = thread.name
@@ -336,15 +447,7 @@ class Scheduler:
                     return
                 continue
 
-            if isinstance(request, Reply):
-                reply = request.to.make_reply(request.payload)
-                thread.revoke_donation(request.to.msg_id)
-                self._deliver(reply)
-                if self._preempt_if_needed(thread):
-                    return
-                continue
-
-            if isinstance(request, Receive):
+            if request_type is Receive:
                 message = thread.mailbox.get(request.match)
                 if message is not None:
                     value = message
@@ -352,7 +455,25 @@ class Scheduler:
                 self._block_receive(thread, request.match, request.timeout)
                 return
 
-            if isinstance(request, Call):
+            if request_type is Reply:
+                reply = request.to.make_reply(request.payload)
+                thread.revoke_donation(request.to.msg_id)
+                self._deliver(reply)
+                if self._preempt_if_needed(thread):
+                    return
+                continue
+
+            if request_type is Work:
+                thread._pending_work = float(request.duration)
+                thread._resume_value = None
+                if not self._do_work(thread):
+                    return  # preempted; scheduler resumes the work later
+                if self._preempt_if_needed(thread):
+                    return
+                value = None
+                continue
+
+            if request_type is Call:
                 message = Message(
                     kind=request.kind,
                     payload=request.payload,
@@ -378,36 +499,35 @@ class Scheduler:
                 )
                 return
 
-            if isinstance(request, Sleep):
+            if request_type is Sleep:
                 self._block_until(thread, self.clock.now() + request.duration)
                 return
 
-            if isinstance(request, WaitUntil):
+            if request_type is WaitUntil:
                 if request.when <= self.clock.now() + _EPS:
                     value = None
                     continue
                 self._block_until(thread, request.when)
                 return
 
-            if isinstance(request, Work):
-                thread._pending_work = float(request.duration)
-                thread._resume_value = None
-                if not self._do_work(thread):
-                    return  # preempted; scheduler resumes the work later
-                if self._preempt_if_needed(thread):
-                    return
-                value = None
-                continue
-
-            if isinstance(request, Yield):
+            if request_type is Yield:
                 thread._resume_value = None
                 if self._other_ready(thread):
                     return
                 value = None
                 continue
 
-            if isinstance(request, Exit):
+            if request_type is Exit:
                 self._finish_message(thread, TERMINATE)
+                return
+
+            if not isinstance(request, Syscall):
+                self._crash(
+                    thread,
+                    SchedulerError(
+                        f"thread {thread.name!r} yielded non-syscall {request!r}"
+                    ),
+                )
                 return
 
             self._crash(
@@ -437,10 +557,13 @@ class Scheduler:
                 if t._wait is w:
                     t._wait = None
                     t._resume_value = TIMED_OUT
+                    t._readiness_changed()
 
             wait.timer = self.after(timeout, on_timeout)
         thread._wait = wait
-        self._record("block", thread.name, "receive")
+        thread._readiness_changed()
+        if self._trace is not None:
+            self._record("block", thread.name, "receive")
 
     def _block_until(self, thread: MThread, when: float) -> None:
         wait = WaitState(kind="time")
@@ -449,10 +572,13 @@ class Scheduler:
             if t._wait is w:
                 t._wait = None
                 t._resume_value = None
+                t._readiness_changed()
 
         wait.timer = self.at(when, on_wake)
         thread._wait = wait
-        self._record("block", thread.name, "time")
+        thread._readiness_changed()
+        if self._trace is not None:
+            self._record("block", thread.name, "time")
 
     def _do_work(self, thread: MThread) -> bool:
         """Consume the thread's pending CPU work; False when preempted."""
@@ -468,7 +594,8 @@ class Scheduler:
             thread._pending_work -= next_t - now
             self._fire_due_timers()
             if self._exists_more_urgent_ready(thread):
-                self._record("preempt", thread.name)
+                if self._trace is not None:
+                    self._record("preempt", thread.name)
                 return False
         thread._pending_work = 0.0
         return True
@@ -476,25 +603,24 @@ class Scheduler:
     def _preempt_if_needed(self, thread: MThread) -> bool:
         if self._exists_more_urgent_ready(thread):
             thread._resume_value = None
-            self._record("preempt", thread.name)
+            if self._trace is not None:
+                self._record("preempt", thread.name)
             return True
         return False
-
-    def _other_ready(self, thread: MThread) -> bool:
-        return any(
-            t is not thread and t.is_ready() for t in self.threads.values()
-        )
 
     def _finish_message(self, thread: MThread, result: Any) -> None:
         thread._gen = None
         thread._current_message = None
         thread._resume_value = None
         thread._resume_exc = None
-        self._record("done", thread.name)
+        thread._key_cache = None
+        if self._trace is not None:
+            self._record("done", thread.name)
         if result is TERMINATE:
             thread.terminated = True
             thread.clear_execution_state()
-            self._record("terminate", thread.name)
+            if self._trace is not None:
+                self._record("terminate", thread.name)
         elif result is not CONTINUE and result is not None:
             self._crash(
                 thread,
@@ -509,7 +635,8 @@ class Scheduler:
         thread.terminated = True
         thread.clear_execution_state()
         self.errors.append((thread.name, exc))
-        self._record("crash", thread.name, repr(exc))
+        if self._trace is not None:
+            self._record("crash", thread.name, repr(exc))
         if self.on_thread_error == "raise":
             raise SchedulerError(f"thread {thread.name!r} crashed") from exc
 

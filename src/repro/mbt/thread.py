@@ -11,12 +11,24 @@ The code function receives ``(thread, message)`` and either
 
 Per-message state lives in ``thread.local`` (a plain dict), making threads
 behave like the paper's extended finite state machines.
+
+Scheduling key caching
+----------------------
+:meth:`MThread.effective_sort_key` is on the scheduler's hottest path (it
+used to be recomputed, with fresh allocations, for *every* thread on
+*every* dispatch and preemption check).  The key is now cached and
+invalidated only by the events that can change it: a mailbox change
+(delivery, receive, drain — wired through the mailbox's change listener),
+a donation granted or revoked, the start or completion of message
+processing, and a priority change.  Invalidation also notifies the owning
+scheduler so its indexed ready queue stays current; see
+:class:`repro.mbt.scheduler.Scheduler`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.mbt.constraints import Constraint
@@ -25,6 +37,8 @@ from repro.mbt.message import Message
 
 #: Sort key of the least urgent possible thread.
 _IDLE_KEY = (math.inf, math.inf)
+
+_INF = float("inf")
 
 CodeFunction = Callable[["MThread", Message], Any]
 
@@ -43,7 +57,6 @@ class WaitState:
     timer: Any = None
 
 
-@dataclass
 class MThread:
     """A message-driven user-level thread.
 
@@ -55,34 +68,83 @@ class MThread:
         The code function invoked once per received message.
     priority:
         Static priority (larger is more urgent), used whenever no message
-        constraint applies.
+        constraint applies.  Assigning to it invalidates the cached
+        scheduling key.
     """
 
-    name: str
-    code: CodeFunction
-    priority: int = 0
+    __slots__ = (
+        "name",
+        "code",
+        "_priority",
+        "mailbox",
+        "local",
+        "terminated",
+        "crashed",
+        "_gen",
+        "_current_message",
+        "_resume_value",
+        "_resume_exc",
+        "_pending_work",
+        "_wait",
+        "_donations",
+        "_last_ran",
+        "_index",
+        "_key_cache",
+        "_scheduler",
+        "_heap_entry",
+    )
 
-    mailbox: Mailbox = field(default_factory=Mailbox, repr=False)
-    #: Per-thread user state (the "extended" part of the FSM).
-    local: dict = field(default_factory=dict, repr=False)
+    def __init__(
+        self,
+        name: str,
+        code: CodeFunction,
+        priority: int = 0,
+        mailbox: Mailbox | None = None,
+        local: dict | None = None,
+    ):
+        self.name = name
+        self.code = code
+        self._priority = priority
+        self.mailbox = mailbox if mailbox is not None else Mailbox()
+        #: Per-thread user state (the "extended" part of the FSM).
+        self.local = local if local is not None else {}
 
-    terminated: bool = False
-    crashed: BaseException | None = None
+        self.terminated = False
+        self.crashed: BaseException | None = None
 
-    # -- scheduler-private execution state ---------------------------------
-    _gen: Any = field(default=None, repr=False)
-    _current_message: Message | None = field(default=None, repr=False)
-    _resume_value: Any = field(default=None, repr=False)
-    _resume_exc: BaseException | None = field(default=None, repr=False)
-    _pending_work: float = field(default=0.0, repr=False)
-    _wait: WaitState | None = field(default=None, repr=False)
-    #: Priority donations from synchronous callers, keyed by request msg id.
-    _donations: dict[int, Constraint] = field(default_factory=dict, repr=False)
-    #: Scheduler bookkeeping for fair tie-breaking.
-    _last_ran: int = field(default=0, repr=False)
-    _index: int = field(default=0, repr=False)
+        # -- scheduler-private execution state -----------------------------
+        self._gen: Any = None
+        self._current_message: Message | None = None
+        self._resume_value: Any = None
+        self._resume_exc: BaseException | None = None
+        self._pending_work: float = 0.0
+        self._wait: WaitState | None = None
+        #: Priority donations from synchronous callers, keyed by request
+        #: msg id.
+        self._donations: dict[int, Constraint] = {}
+        #: Scheduler bookkeeping for fair tie-breaking.
+        self._last_ran = 0
+        self._index = 0
+        #: Cached effective sort key; None means dirty.
+        self._key_cache: tuple[float, float] | None = None
+        #: Owning scheduler (set by Scheduler.add_thread); notified on
+        #: key/readiness changes so the ready queue stays indexed.
+        self._scheduler: Any = None
+        #: The thread's live entry in the scheduler's ready heap, if any.
+        self._heap_entry: list | None = None
+
+        self.mailbox._listener = self._invalidate_key
 
     # ------------------------------------------------------------------ API
+
+    @property
+    def priority(self) -> int:
+        return self._priority
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        self._priority = value
+        self._invalidate_key()
 
     def is_ready(self) -> bool:
         """True when the thread can use the CPU right now."""
@@ -113,20 +175,34 @@ class MThread:
         first message in its incoming queue; absent any constraint the
         static thread priority applies.  Donations from synchronous callers
         (priority inheritance) are folded in.
+
+        The result is cached; see the module docstring for the
+        invalidation events.
         """
-        candidates: list[Constraint] = []
-        if self._current_message is not None:
-            if self._current_message.constraint is not None:
-                candidates.append(self._current_message.constraint)
+        key = self._key_cache
+        if key is None:
+            key = self._compute_sort_key()
+            self._key_cache = key
+        return key
+
+    def _compute_sort_key(self) -> tuple[float, float]:
+        best: Constraint | None = None
+        message = self._current_message
+        if message is not None:
+            best = message.constraint
         elif self._gen is None:
             head = self.mailbox.peek()
-            if head is not None and head.constraint is not None:
-                candidates.append(head.constraint)
-        candidates.extend(self._donations.values())
-
-        best = Constraint.most_urgent(*candidates)
+            if head is not None:
+                best = head.constraint
+        donations = self._donations
+        if donations:
+            for constraint in donations.values():
+                if constraint is not None and (
+                    best is None or constraint.is_more_urgent_than(best)
+                ):
+                    best = constraint
         if best is None:
-            return (-float(self.priority), math.inf)
+            return (-float(self._priority), math.inf)
         return best.sort_key()
 
     def effective_priority(self) -> float:
@@ -135,11 +211,26 @@ class MThread:
 
     # ------------------------------------------------------ scheduler hooks
 
+    def _invalidate_key(self) -> None:
+        """Drop the cached sort key and reindex in the ready queue."""
+        self._key_cache = None
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._reindex(self)
+
+    def _readiness_changed(self) -> None:
+        """Reindex in the ready queue (key inputs unchanged)."""
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._reindex(self)
+
     def donate(self, msg_id: int, constraint: Constraint) -> None:
         self._donations[msg_id] = constraint
+        self._invalidate_key()
 
     def revoke_donation(self, msg_id: int) -> None:
-        self._donations.pop(msg_id, None)
+        if self._donations.pop(msg_id, None) is not None:
+            self._invalidate_key()
 
     def clear_execution_state(self) -> None:
         if self._gen is not None:
@@ -154,6 +245,7 @@ class MThread:
         self._pending_work = 0.0
         self._wait = None
         self._donations.clear()
+        self._invalidate_key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

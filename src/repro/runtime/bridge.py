@@ -44,11 +44,16 @@ from repro.errors import RuntimeFault
 
 
 class NeedMoreInput(Exception):
-    """Raised by a replay intake when a ``get()`` cannot be satisfied yet."""
+    """Raised by a replay intake when a ``get()`` cannot be satisfied yet.
 
-    def __init__(self, port: str):
-        super().__init__(port)
-        self.port = port
+    Deliberately has no ``__init__``: it is raised for every upstream fetch
+    of every direct-called producer, and the default C-level constructor
+    keeps that hot path frameless.
+    """
+
+    @property
+    def port(self) -> str:
+        return self.args[0]
 
 
 class ReplayIntake:
@@ -90,20 +95,62 @@ class ReplayIntake:
         self.buffers[port].append(item)
 
     def commit(self) -> None:
+        component = self._component
         for port, count in self._read.items():
+            if not count:
+                continue
             buffer = self.buffers[port]
             for _ in range(count):
                 buffer.popleft()
-            if self._component is not None:
-                self._component.stats["items_in"] += count
+            if component is not None:
+                component.stats["items_in"] += count
             self._read[port] = 0
 
     def install(self, component: Component) -> None:
         self._component = component
         for port in self.buffers:
-            component._intakes[port] = (
-                lambda p=port: self.intake(p)
-            )
+            component._intakes[port] = self._make_intake(port)
+        if len(self.buffers) == 1:
+            # Single-input producer (the common case): shadow the generic
+            # ``get()`` dispatch with the bound reader so the component's
+            # ``pull()`` skips the per-call intake-table walk.
+            (only_port,) = self.buffers
+            reader = component._intakes[only_port]
+            name = component.name
+
+            def fast_get(port: str = only_port) -> Any:
+                if port != only_port:
+                    raise RuntimeFault(
+                        f"{name!r}: get() on port {port!r} outside a "
+                        "running pipeline"
+                    )
+                return reader()
+
+            try:
+                component.get = fast_get
+            except AttributeError:  # pragma: no cover - slotted component
+                pass
+
+    def _make_intake(self, port: str):
+        """A bound single-port reader (the hot path of every direct-called
+        producer's ``get()``): one frame, no per-call dict-of-ports walk."""
+        buffer = self.buffers[port]
+        read = self._read
+        eos = self.eos
+
+        def intake_port() -> Any:
+            index = read[port]
+            if index < len(buffer):
+                read[port] = index + 1
+                item = buffer[index]
+                if is_eos(item):
+                    raise EndOfStream(port)
+                return item
+            if port in eos:
+                raise EndOfStream(port)
+            raise NeedMoreInput(port)
+
+        return intake_port
 
 
 class PendingEmits:

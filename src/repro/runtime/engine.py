@@ -17,7 +17,7 @@ from repro.components.buffers import Buffer
 from repro.core import events as ev
 from repro.core.component import Component, Role
 from repro.core.composition import Pipeline
-from repro.core.events import EOS, Event, EventService, is_eos
+from repro.core.events import EOS, Event, EventService
 from repro.core.glue import (
     AllocationPlan,
     BoundaryRef,
@@ -25,7 +25,7 @@ from repro.core.glue import (
     SectionPlan,
     allocate,
 )
-from repro.core.items import is_nil
+from repro.core.items import NIL
 from repro.core.polarity import Mode
 from repro.core.styles import EndOfStream, PullOp, PushOp, Style
 from repro.errors import RuntimeFault
@@ -34,13 +34,15 @@ from repro.mbt.constraints import Constraint
 from repro.mbt.coroutine import Done, Suspendable
 from repro.mbt.message import Message
 from repro.mbt.scheduler import Scheduler
-from repro.mbt.syscalls import CONTINUE, Send
+from repro.mbt.syscalls import CONTINUE, Send, Work
 from repro.mbt.timers import PeriodicTimer
 from repro.runtime.bridge import PendingEmits, ReplayIntake, build_suspendable
 from repro.runtime.section import (
     BufferGate,
     SegmentLock,
     ThreadCtx,
+    compile_pull,
+    compile_push,
     maybe_work,
     pull_from,
     push_to,
@@ -67,6 +69,12 @@ class PumpDriver:
         self.waiting_for_data = False
         self._loop_active = False
         self._pull_gates: list[BufferGate] = []
+        #: Compiled flow walkers (bound by Engine._compile_walkers).
+        self._pull_walker = None
+        self._push_walker = None
+        self._origin_drain = self.origin.drain_cost
+        self._max_items = getattr(self.origin, "max_items", None)
+        self._cycle_constraint = self.data_constraint()
 
     # -- setup -------------------------------------------------------------
 
@@ -107,6 +115,23 @@ class PumpDriver:
             for gate in _boundary_gates(self.engine, self.section.pull_root)
         ]
 
+    def compile_walkers(self) -> None:
+        """(Re)build the section's bound flow walkers; see
+        :func:`repro.runtime.section.compile_pull`."""
+        section = self.section
+        self._pull_walker = (
+            compile_pull(self.ctx, section.pull_root)
+            if section.pull_root is not None
+            else None
+        )
+        self._push_walker = (
+            compile_push(self.ctx, section.push_root)
+            if section.push_root is not None
+            else None
+        )
+        self._max_items = getattr(self.origin, "max_items", None)
+        self._cycle_constraint = self.data_constraint()
+
     @property
     def timing(self) -> str:
         return getattr(self.origin, "timing", "greedy")
@@ -123,35 +148,23 @@ class PumpDriver:
     # -- thread code function ------------------------------------------------
 
     def code(self, thread, message):
-        if message.kind == "event":
+        """Plain dispatch: the hot path hands the scheduler a single
+        ``_run_cycle`` generator per message instead of nesting one inside
+        a ``code`` generator."""
+        kind = message.kind
+        if kind == "cycle":
+            self.waiting_for_data = False
+            if self.origin.running and not self.finished:
+                return self._run_cycle(repost=True)
+            self._loop_active = False
+        elif kind == "tick":
+            if self.origin.running and not self.finished:
+                return self._run_cycle(repost=False)
+        elif kind == "event":
             event, target_name = message.payload
             self.engine.dispatch_event_local(
                 self.thread_name, event, target_name
             )
-        elif message.kind == "tick":
-            if self.origin.running and not self.finished:
-                yield from self.cycle()
-        elif message.kind == "cycle":
-            self.waiting_for_data = False
-            if self.origin.running and not self.finished:
-                yield from self.cycle()
-                if (
-                    self.origin.running
-                    and not self.finished
-                    and not self.waiting_for_data
-                ):
-                    yield Send(
-                        Message(
-                            kind="cycle",
-                            sender=self.thread_name,
-                            target=self.thread_name,
-                            constraint=self.data_constraint(),
-                        )
-                    )
-                else:
-                    self._loop_active = False
-            else:
-                self._loop_active = False
         self.sync_running_state()
         return CONTINUE
 
@@ -175,49 +188,76 @@ class PumpDriver:
 
     # -- one cycle -----------------------------------------------------------
 
-    def cycle(self):
+    def _run_cycle(self, repost: bool):
+        """One pump cycle plus the post-cycle trailer (self-repost for the
+        greedy loop, running-state resync) in a single generator."""
         self.cycles += 1
         origin = self.origin
+        pull = self._pull_walker
+        push = self._push_walker
 
-        if self.section.pull_root is not None:
-            item = yield from pull_from(self.ctx, self.section.pull_root)
+        if pull is not None:
+            item = yield from pull()
         else:
             item = origin.generate()
-            yield from maybe_work(origin)
+            cost = self._origin_drain()
+            if cost > 0.0:
+                yield Work(cost)
 
-        if is_nil(item):
+        if item is NIL:
             self.nil_cycles += 1
             if self.timer is None:
                 self._enter_waiting()
-            return
-
-        if is_eos(item):
-            if self.section.push_root is not None:
-                yield from push_to(self.ctx, self.section.push_root, EOS)
+        elif item is EOS:
+            if push is not None:
+                yield from push(EOS)
             self.finish()
-            return
-
-        if self.section.pull_root is not None:
-            origin.stats["items_in"] += 1
         else:
-            origin.stats["items_out"] += 1
-
-        if self.section.push_root is not None:
-            yield from push_to(self.ctx, self.section.push_root, item)
-            if self.section.pull_root is not None:
+            if pull is not None:
+                origin.stats["items_in"] += 1
+            else:
                 origin.stats["items_out"] += 1
-        else:
-            # Active sink: consume in place.
-            origin.consume(item)
-            yield from maybe_work(origin)
 
-        self.items_moved += 1
-        max_items = getattr(origin, "max_items", None)
-        if max_items is not None and self.items_moved >= max_items:
-            # A bounded origin ends the stream: tell downstream.
-            if self.section.push_root is not None:
-                yield from push_to(self.ctx, self.section.push_root, EOS)
-            self.finish()
+            if push is not None:
+                yield from push(item)
+                if pull is not None:
+                    origin.stats["items_out"] += 1
+            else:
+                # Active sink: consume in place.
+                origin.consume(item)
+                cost = self._origin_drain()
+                if cost > 0.0:
+                    yield Work(cost)
+
+            self.items_moved += 1
+            max_items = self._max_items
+            if max_items is not None and self.items_moved >= max_items:
+                # A bounded origin ends the stream: tell downstream.
+                if push is not None:
+                    yield from push(EOS)
+                self.finish()
+
+        if repost:
+            if (
+                origin.running
+                and not self.finished
+                and not self.waiting_for_data
+            ):
+                name = self.thread_name
+                yield Send(
+                    Message(
+                        kind="cycle",
+                        sender=name,
+                        target=name,
+                        constraint=self._cycle_constraint,
+                    )
+                )
+                # The loop is provably still active here (running, not
+                # finished, not waiting, timerless): sync would be a no-op.
+                return CONTINUE
+            self._loop_active = False
+        self.sync_running_state()
+        return CONTINUE
 
     def _enter_waiting(self) -> None:
         """Greedy pump found no data under a nil policy: sleep until any
@@ -262,9 +302,30 @@ class CoroutineDriver:
         self.finished = False
         #: Pull-mode state: the last request the body is suspended at.
         self._at_push = False
+        self._drain = component.drain_cost
+        #: Compiled per-port continuation walkers (push mode uses push
+        #: walkers, pull mode uses pull walkers); bound by
+        #: Engine._compile_walkers.
+        self._push_walkers: dict[str, Any] = {}
+        self._pull_walkers: dict[str, Any] = {}
 
     def setup(self, priority: int) -> None:
         self.engine.scheduler.spawn(self.thread_name, self.code, priority)
+
+    def compile_walkers(self) -> None:
+        branches = self.node.branches
+        if self.mode is Mode.PUSH:
+            self._push_walkers = {
+                port: compile_push(self.ctx, child)
+                for port, child in branches.items()
+            }
+            self._pull_walkers = {}
+        else:
+            self._pull_walkers = {
+                port: compile_pull(self.ctx, child)
+                for port, child in branches.items()
+            }
+            self._push_walkers = {}
 
     def _suspendable(self) -> Suspendable:
         if self.susp is None:
@@ -308,18 +369,19 @@ class CoroutineDriver:
     # -- thread code function ------------------------------------------------
 
     def code(self, thread, message):
-        if message.kind == "event":
+        """Plain dispatch returning the handler generator directly (its
+        ``None`` return is accepted as CONTINUE by the scheduler)."""
+        kind = message.kind
+        if kind == "event":
             event, target_name = message.payload
             self.engine.dispatch_event_local(
                 self.thread_name, event, target_name
             )
             return CONTINUE
-        if message.kind == "ip-push" and self.mode is Mode.PUSH:
-            yield from self._handle_push(message)
-            return CONTINUE
-        if message.kind == "ip-pull" and self.mode is Mode.PULL:
-            yield from self._handle_pull(message)
-            return CONTINUE
+        if kind == "ip-push" and self.mode is Mode.PUSH:
+            return self._handle_push(message)
+        if kind == "ip-pull" and self.mode is Mode.PULL:
+            return self._handle_pull(message)
         raise RuntimeFault(
             f"coroutine {self.component.name!r} ({self.mode} mode) got "
             f"unexpected message {message.kind!r}"
@@ -341,7 +403,7 @@ class CoroutineDriver:
                 return
 
         item = message.payload
-        if is_eos(item):
+        if item is EOS:
             request = self._resume_eos()
             while not self.finished:
                 request = yield from self._drive_to_pull(request)
@@ -358,8 +420,11 @@ class CoroutineDriver:
 
     def _drive_to_pull(self, request):
         """Serve PushOps downstream until the body wants input again."""
+        push_walkers = self._push_walkers
         while True:
-            yield from maybe_work(self.component)
+            cost = self._drain()
+            if cost > 0.0:
+                yield Work(cost)
             if isinstance(request, Done):
                 yield from self._forward_eos_downstream()
                 self.finished = True
@@ -368,9 +433,13 @@ class CoroutineDriver:
                 if self.component.style is Style.ACTIVE:
                     # wrapper styles count via receive_push/serve_pull
                     self.component.stats["items_out"] += 1
-                yield from push_to(
-                    self.ctx, self.continuation(request.port), request.item
-                )
+                walker = push_walkers.get(request.port)
+                if walker is None:
+                    raise RuntimeFault(
+                        f"{self.component.name!r} used unknown port "
+                        f"{request.port!r}"
+                    )
+                yield from walker(request.item)
                 request = self._resume(None)
                 continue
             if isinstance(request, PullOp):
@@ -382,8 +451,8 @@ class CoroutineDriver:
             )
 
     def _forward_eos_downstream(self):
-        for child in self.node.branches.values():
-            yield from push_to(self.ctx, child, EOS)
+        for walker in self._push_walkers.values():
+            yield from walker(EOS)
 
     # -- pull mode --------------------------------------------------------------
 
@@ -402,8 +471,11 @@ class CoroutineDriver:
         else:  # pragma: no cover - defensive
             request = self._resume(None)
 
+        pull_walkers = self._pull_walkers
         while True:
-            yield from maybe_work(self.component)
+            cost = self._drain()
+            if cost > 0.0:
+                yield Work(cost)
             if isinstance(request, Done):
                 self.finished = True
                 yield Reply(message, EOS)
@@ -415,13 +487,17 @@ class CoroutineDriver:
                 yield Reply(message, request.item)
                 return
             if isinstance(request, PullOp):
-                value = yield from pull_from(
-                    self.ctx, self.continuation(request.port)
-                )
-                if is_eos(value):
+                walker = pull_walkers.get(request.port)
+                if walker is None:
+                    raise RuntimeFault(
+                        f"{self.component.name!r} used unknown port "
+                        f"{request.port!r}"
+                    )
+                value = yield from walker()
+                if value is EOS:
                     request = self._resume_eos()
                 else:
-                    if not is_nil(value) and \
+                    if value is not NIL and \
                             self.component.style is Style.ACTIVE:
                         self.component.stats["items_in"] += 1
                     request = self._resume(value)
@@ -492,6 +568,11 @@ class Engine:
         self.pump_drivers: list[PumpDriver] = []
         self._drivers_by_origin: dict[str, PumpDriver] = {}
         self.stats_counters: dict[str, int] = {"coroutine_switches": 0}
+        #: Per-walker batched switch counters ([int] cells); flushed into
+        #: ``stats_counters`` whenever ``stats`` is read or walkers are
+        #: recompiled, so the hot path pays one list-cell increment instead
+        #: of a dict update per coroutine crossing.
+        self._switch_counters: list[list[int]] = []
         self._sink_eos: set[str] = set()
         self._setup_done = False
         #: Simulated network used for cross-node control-event latency.
@@ -556,8 +637,41 @@ class Engine:
 
         for component in self.pipeline.components:
             component.on_attach(self)
+
+        # Compile the flow walkers last: gates, locks, replay intakes and
+        # coroutine ownership are all settled by now.
+        self._compile_walkers()
         self._setup_done = True
         return self
+
+    def _compile_walkers(self) -> None:
+        """(Re)compile every driver's bound flow walkers.
+
+        Called at the end of setup and again after any structural change
+        (see :func:`repro.runtime.restructure.replace_component`, which
+        swaps ``node.component`` in place)."""
+        self._flush_switches()
+        self._switch_counters.clear()
+        for driver in self.pump_drivers:
+            driver.compile_walkers()
+        for driver in self._coroutine_drivers.values():
+            driver.compile_walkers()
+
+    def _switch_counter(self) -> list:
+        """A fresh batched coroutine-switch counter cell for a compiled
+        walker (see ``stats_counters``)."""
+        counter = [0]
+        self._switch_counters.append(counter)
+        return counter
+
+    def _flush_switches(self) -> None:
+        total = 0
+        for counter in self._switch_counters:
+            if counter[0]:
+                total += counter[0]
+                counter[0] = 0
+        if total:
+            self.stats_counters["coroutine_switches"] += total
 
     def _own(self, component: Component, thread_name: str) -> None:
         if component.name in self._owner:
@@ -791,6 +905,7 @@ class Engine:
 
     @property
     def stats(self) -> PipelineStats:
+        self._flush_switches()
         snapshot = PipelineStats(
             components={
                 c.name: dict(c.stats) for c in self.pipeline.components
@@ -804,6 +919,8 @@ class Engine:
             },
             time=self.scheduler.now(),
             threads=len(self.pump_drivers) + len(self._coroutine_drivers),
+            dead_letters=len(self.scheduler.dead_letters),
+            dead_letters_dropped=self.scheduler.dead_letters_dropped,
         )
         return snapshot
 

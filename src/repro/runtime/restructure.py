@@ -81,6 +81,10 @@ def replace_component(engine: "Engine", old: Component, new: Component) -> None:
 
     _transfer_runtime_wiring(engine, old, new)
 
+    # The compiled flow walkers hold the old component's bound methods;
+    # rebuild them from the mutated plan.
+    engine._compile_walkers()
+
 
 def _locate(engine: "Engine", old: Component):
     assert engine.plan is not None

@@ -13,13 +13,30 @@ mid-chain, and each stays responsive to control events:
   message or the data reply message", section 4);
 * **simulated CPU work** — ``component.charge()`` is drained into ``Work``
   syscalls, making stage costs preemptible.
+
+Two implementations of chain walking coexist:
+
+* the **generic walkers** :func:`pull_from` / :func:`push_to`, which
+  re-derive everything (isinstance checks, gate/lock/replay lookups,
+  style dispatch) on every item — kept as the reference implementation
+  and for ad-hoc callers;
+* the **compiled walkers** built by :func:`compile_pull` /
+  :func:`compile_push` at plan-realization time (see
+  ``Engine._compile_walkers``), which resolve all of that *once per
+  node* and return bound generator closures, so steady-state item
+  movement does one dict-free call per hop.  They must mirror the
+  generic walkers' behaviour exactly; any recompilation trigger (today:
+  :func:`repro.runtime.restructure.replace_component`) re-runs the
+  compilation pass.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Any, Union
 
+from repro.core.component import Component
 from repro.core.events import EOS, is_eos
 from repro.core.glue import BoundaryRef, FlowNode
 from repro.core.items import NIL, is_nil
@@ -372,3 +389,399 @@ def _push_to_node(ctx: ThreadCtx, node: FlowNode, item: Any):
     while pending.queue:
         port, out = pending.queue.popleft()
         yield from push_to(ctx, node.branches[port], out)
+
+
+# ---------------------------------------------------------------------------
+# Compiled walkers
+# ---------------------------------------------------------------------------
+#
+# Everything below is the ahead-of-time twin of pull_from/push_to above:
+# one bound generator closure per (thread, flow node), with the gate, lock,
+# replay intake, pending-emit queue, coroutine target thread and per-port
+# child walkers all resolved at compile time.  The run-time body of a hop
+# is then just the user code plus the unavoidable suspension points.
+
+
+def _bind_serve_pull(component, port: str):
+    """Zero-arg per-item pull entry for ``component``.
+
+    When the component keeps the stock :meth:`Component.serve_pull`, its
+    per-call getattr dispatch and stats bookkeeping are folded into a bound
+    closure; overriding components (activity routers) keep their own entry.
+    """
+    if type(component).serve_pull is Component.serve_pull:
+        pull_impl = getattr(component, "pull", None)
+        if pull_impl is not None:
+            stats = component.stats
+
+            def serve():
+                item = pull_impl()
+                if item is not EOS and item is not NIL:
+                    stats["items_out"] += 1
+                return item
+
+            return serve
+    if port == "out":  # the signature default: the bound method suffices
+        return component.serve_pull
+    return partial(component.serve_pull, port)
+
+
+def _bind_receive_push(component, port: str):
+    """One-arg per-item push entry for ``component`` (see
+    :func:`_bind_serve_pull`); tees keep their overridden entry."""
+    if type(component).receive_push is Component.receive_push:
+        push_impl = getattr(component, "push", None)
+        if push_impl is not None:
+            stats = component.stats
+
+            def receive(item):
+                stats["items_in"] += 1
+                push_impl(item)
+
+            return receive
+    if port == "in":  # the signature default: the bound method suffices
+        return component.receive_push
+    return partial(component.receive_push, port=port)
+
+
+def _bind_drain(component):
+    """Compile-time drain binding: ``(stock, drain)``.
+
+    ``stock`` is True when the component keeps the stock
+    :meth:`Component.drain_cost` (every component in this repository does),
+    letting walkers read and reset ``_cost_accumulator`` directly instead
+    of paying a method call per item; overriding components keep ``drain``.
+    """
+    return (
+        type(component).drain_cost is Component.drain_cost,
+        component.drain_cost,
+    )
+
+
+def _compile_coro_pull(ctx: ThreadCtx, component):
+    """Bound ip-pull round trip to a coroutine component's thread.
+
+    The reply wait is ``ThreadCtx.receive_reply`` unrolled in place (one
+    generator frame fewer per crossing), with the same event transparency.
+    """
+    engine = ctx.engine
+    target = engine.thread_of(component)
+    sender = ctx.thread_name
+    thread = engine.scheduler.threads[sender]
+    dispatch_event = ctx.dispatch_event_message
+    counter = engine._switch_counter()
+
+    def coro_pull():
+        message = thread._current_message
+        request = Message(
+            kind="ip-pull",
+            sender=sender,
+            target=target,
+            constraint=message.constraint if message is not None else None,
+            needs_reply=True,
+        )
+        counter[0] += 1
+        yield Send(request)
+        rid = request.msg_id
+        while True:
+            reply = yield Receive(
+                match=lambda m, _rid=rid: m.reply_to == _rid
+                or m.kind == "event"
+            )
+            if reply.kind == "event":
+                dispatch_event(reply)
+                continue
+            return reply.payload
+
+    return coro_pull
+
+
+def _compile_coro_push(ctx: ThreadCtx, component):
+    """Bound ip-push round trip to a coroutine component's thread."""
+    engine = ctx.engine
+    target = engine.thread_of(component)
+    sender = ctx.thread_name
+    thread = engine.scheduler.threads[sender]
+    dispatch_event = ctx.dispatch_event_message
+    counter = engine._switch_counter()
+
+    def coro_push(item):
+        message = thread._current_message
+        request = Message(
+            kind="ip-push",
+            payload=item,
+            sender=sender,
+            target=target,
+            constraint=message.constraint if message is not None else None,
+            needs_reply=True,
+        )
+        counter[0] += 1
+        yield Send(request)
+        rid = request.msg_id
+        while True:
+            reply = yield Receive(
+                match=lambda m, _rid=rid: m.reply_to == _rid
+                or m.kind == "event"
+            )
+            if reply.kind == "event":
+                dispatch_event(reply)
+                continue
+            return
+
+    return coro_push
+
+
+def compile_pull(ctx: ThreadCtx, target: FlowTarget):
+    """Compile ``target`` into a bound pull walker: ``() -> generator``
+    producing one item (or NIL/EOS), semantically identical to
+    ``pull_from(ctx, target)``."""
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        port = target.port.name
+        if gate is not None:
+            gate_get = gate.get
+
+            def gate_pull():
+                return gate_get(ctx, port)
+
+            return gate_pull
+
+        serve = _bind_serve_pull(component, port)
+        stock_drain, drain = _bind_drain(component)
+
+        def source_pull():
+            item = serve()
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            return item
+
+        return source_pull
+
+    node_pull = _compile_pull_node(ctx, target)
+    lock = engine.lock_for(target.component)
+    if lock is None:
+        return node_pull
+    acquire, release = lock.acquire, lock.release
+    thread_name = ctx.thread_name
+
+    def locked_pull():
+        # Uncontended acquire/release never suspend; take and drop the
+        # lock inline and only fall back to the generator protocol when
+        # there is actual contention (a holder to wait for, a waiter to
+        # wake).  Exactly the steps lock.acquire/release would perform.
+        holder = lock.holder
+        if holder == thread_name:
+            return (yield from node_pull())
+        if holder is None:
+            lock.holder = thread_name
+        else:
+            yield from acquire(ctx)
+        try:
+            return (yield from node_pull())
+        finally:
+            if lock._waiters:
+                yield from release(ctx)
+            else:
+                lock.holder = None
+
+    return locked_pull
+
+
+def _compile_pull_node(ctx: ThreadCtx, node: FlowNode):
+    engine = ctx.engine
+    component = node.component
+
+    if engine.is_coroutine(component):
+        return _compile_coro_pull(ctx, component)
+
+    stock_drain, drain = _bind_drain(component)
+
+    if component.style is Style.FUNCTION:
+        inner = compile_pull(ctx, node.branches["in"])
+        convert = component.convert
+        stats = component.stats
+
+        def function_pull():
+            item = yield from inner()
+            if item is EOS or item is NIL:
+                return item
+            stats["items_in"] += 1
+            result = convert(item)
+            stats["items_out"] += 1
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            return result
+
+        return function_pull
+
+    # Producer style (possibly multi-input) under deterministic replay.
+    replay = engine.replay_for(component)
+    serve = _bind_serve_pull(component, node.entry_port)
+    branch_pulls = {
+        port: compile_pull(ctx, child) for port, child in node.branches.items()
+    }
+    begin, feed, commit = replay.begin, replay.feed, replay.commit
+
+    def producer_pull():
+        while True:
+            begin()
+            try:
+                result = serve()
+            except NeedMoreInput as need:
+                cost = component._cost_accumulator if stock_drain else drain()
+                if cost > 0.0:
+                    if stock_drain:
+                        component._cost_accumulator = 0.0
+                    yield Work(cost)
+                upstream = yield from branch_pulls[need.port]()
+                if upstream is NIL:
+                    return NIL  # cannot complete now; prefetch is preserved
+                feed(need.port, upstream)
+                continue
+            except EndOfStream:
+                cost = component._cost_accumulator if stock_drain else drain()
+                if cost > 0.0:
+                    if stock_drain:
+                        component._cost_accumulator = 0.0
+                    yield Work(cost)
+                return EOS
+            commit()
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            return result
+
+    return producer_pull
+
+
+def compile_push(ctx: ThreadCtx, target: FlowTarget):
+    """Compile ``target`` into a bound push walker: ``(item) -> generator``,
+    semantically identical to ``push_to(ctx, target, item)``."""
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        port = target.port.name
+        if gate is not None:
+            gate_put = gate.put
+
+            def gate_push(item):
+                return gate_put(ctx, item, port)
+
+            return gate_push
+
+        receive = _bind_receive_push(component, port)
+        stock_drain, drain = _bind_drain(component)
+        note_sink_eos = engine.note_sink_eos
+        on_eos = getattr(component, "on_eos", None)
+
+        def sink_push(item):
+            if item is EOS:
+                note_sink_eos(component)
+                if on_eos is not None:
+                    on_eos()
+                return
+            receive(item)
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+
+        return sink_push
+
+    node_push = _compile_push_node(ctx, target)
+    lock = engine.lock_for(target.component)
+    if lock is None:
+        return node_push
+    acquire, release = lock.acquire, lock.release
+    thread_name = ctx.thread_name
+
+    def locked_push(item):
+        # Same uncontended fast path as locked_pull above.
+        holder = lock.holder
+        if holder == thread_name:
+            yield from node_push(item)
+            return
+        if holder is None:
+            lock.holder = thread_name
+        else:
+            yield from acquire(ctx)
+        try:
+            yield from node_push(item)
+        finally:
+            if lock._waiters:
+                yield from release(ctx)
+            else:
+                lock.holder = None
+
+    return locked_push
+
+
+def _compile_push_node(ctx: ThreadCtx, node: FlowNode):
+    engine = ctx.engine
+    component = node.component
+
+    if engine.is_coroutine(component):
+        return _compile_coro_push(ctx, component)
+
+    stock_drain, drain = _bind_drain(component)
+    branch_pushes = {
+        port: compile_push(ctx, child) for port, child in node.branches.items()
+    }
+    # EOS bypasses user code and fans out to every downstream branch.
+    children = tuple(branch_pushes.values())
+
+    if component.style is Style.FUNCTION:
+        out_push = branch_pushes["out"]
+        convert = component.convert
+        stats = component.stats
+
+        def function_push(item):
+            if item is EOS:
+                for child in children:
+                    yield from child(EOS)
+                return
+            stats["items_in"] += 1
+            result = convert(item)
+            stats["items_out"] += 1
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            yield from out_push(result)
+
+        return function_push
+
+    # Consumer style (including push tees): emissions are collected and
+    # delivered after push() returns, possibly suspending between them.
+    queue = engine.pending_for(component).queue
+    receive = _bind_receive_push(component, node.entry_port)
+
+    def consumer_push(item):
+        if item is EOS:
+            for child in children:
+                yield from child(EOS)
+            return
+        receive(item)
+        cost = component._cost_accumulator if stock_drain else drain()
+        if cost > 0.0:
+            if stock_drain:
+                component._cost_accumulator = 0.0
+            yield Work(cost)
+        while queue:
+            port, out = queue.popleft()
+            yield from branch_pushes[port](out)
+
+    return consumer_push

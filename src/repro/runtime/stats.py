@@ -26,6 +26,10 @@ class PipelineStats:
     time: float = 0.0
     #: User-level threads created for the pipeline.
     threads: int = 0
+    #: Undeliverable messages currently retained by the scheduler.
+    dead_letters: int = 0
+    #: Undeliverable messages discarded past the retention bound.
+    dead_letters_dropped: int = 0
 
     def items_out(self, component_name: str) -> int:
         return self.components.get(component_name, {}).get("items_out", 0)

@@ -91,3 +91,61 @@ def test_clear_returns_delivery_order():
     drained = box.clear()
     assert [m.kind for m in drained] == ["a", "b"]
     assert not box
+
+
+def test_equal_urgency_arrival_order_survives_selective_receive():
+    """Regression for the single-pass selective receive: removing a middle
+    message must not perturb the arrival order of the constraint-equal
+    messages that were skipped and restored."""
+    box = Mailbox()
+    kinds = ["d0", "d1", "reply", "d2", "d3", "d4"]
+    for kind in kinds:
+        box.put(msg(kind))
+    got = box.get(match=lambda m: m.kind == "reply")
+    assert got.kind == "reply"
+    assert [m.kind for m in box] == ["d0", "d1", "d2", "d3", "d4"]
+    assert [box.get().kind for _ in range(len(box))] == [
+        "d0", "d1", "d2", "d3", "d4",
+    ]
+
+
+def test_equal_urgency_arrival_order_with_constrained_peers():
+    """Equal-constraint messages keep FIFO order around a selective receive
+    even when more- and less-urgent messages share the queue."""
+    box = Mailbox()
+    box.put(msg("data-a", priority=1))
+    box.put(msg("control", priority=9))
+    box.put(msg("data-b", priority=1))
+    box.put(msg("reply", priority=1))
+    box.put(msg("data-c", priority=1))
+    got = box.get(match=lambda m: m.kind == "reply")
+    assert got.kind == "reply"
+    assert [m.kind for m in box] == ["control", "data-a", "data-b", "data-c"]
+
+
+def test_failed_selective_receive_preserves_queue_exactly():
+    box = Mailbox()
+    for kind in ("a", "b", "c"):
+        box.put(msg(kind))
+    assert box.get(match=lambda m: m.kind == "missing") is None
+    assert [m.kind for m in box] == ["a", "b", "c"]
+    assert [box.get().kind for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_match_exception_restores_skipped_prefix():
+    """A raising predicate must not lose the already-popped prefix."""
+    box = Mailbox()
+    for kind in ("a", "b", "c"):
+        box.put(msg(kind))
+
+    def explode(message):
+        if message.kind == "b":
+            raise RuntimeError("boom")
+        return False
+
+    try:
+        box.get(match=explode)
+    except RuntimeError:
+        pass
+    assert len(box) == 3
+    assert [m.kind for m in box] == ["a", "b", "c"]

@@ -91,6 +91,24 @@ def test_message_to_unknown_thread_goes_to_dead_letters():
     assert sched.dead_letters[0].target == "ghost"
 
 
+def test_dead_letter_queue_is_bounded_and_counts_drops():
+    sched = make_scheduler(dead_letter_limit=3)
+    for i in range(5):
+        sched.post(Message(kind=f"d{i}", target="ghost"))
+    # Oldest letters are evicted; every eviction is counted.
+    assert len(sched.dead_letters) == 3
+    assert [m.kind for m in sched.dead_letters] == ["d2", "d3", "d4"]
+    assert sched.dead_letters_dropped == 2
+
+
+def test_dead_letter_queue_unbounded_when_limit_none():
+    sched = make_scheduler(dead_letter_limit=None)
+    for i in range(5):
+        sched.post(Message(kind=f"d{i}", target="ghost"))
+    assert len(sched.dead_letters) == 5
+    assert sched.dead_letters_dropped == 0
+
+
 def test_duplicate_thread_name_rejected():
     sched = make_scheduler()
     sched.spawn("t", lambda th, m: CONTINUE)
