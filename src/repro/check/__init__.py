@@ -1,0 +1,100 @@
+"""Deterministic simulation checking: explore, detect, assert, inject.
+
+The middleware executes entirely on a virtual clock, which makes every
+run a deterministic simulation — and a deterministic simulation can be
+*checked*: re-run under many legal schedules, watched for deadlock,
+audited for flow conservation, and stressed with injected faults.  This
+package is that toolkit:
+
+* :mod:`~repro.check.explorer` — run one program under N seeded
+  scheduling perturbations; failing seeds come with a minimized,
+  replayable repro.
+* :mod:`~repro.check.deadlock` — wait-for-graph cycle/hang/livelock
+  detection with human-readable reports.
+* :mod:`~repro.check.invariants` — flow conservation, declared-loss
+  accounting, and FIFO assertions over pipeline stats.
+* :mod:`~repro.check.faults` — seeded plans of thread crashes, message
+  drop/delay/reorder, and link flaps.
+
+All of it rides hook points that cost a single ``is None`` check when
+unused, so production runs (and the golden traces) are unaffected.
+"""
+
+from repro.check.deadlock import (
+    DeadlockReport,
+    assert_no_deadlock,
+    blocked_waits,
+    describe_match,
+    detect,
+    find_cycles,
+    receive_from,
+    run_watched,
+    waitfor_graph,
+)
+from repro.check.explorer import (
+    ExplorationResult,
+    ReplayChooser,
+    SeededChooser,
+    SeedRun,
+    explore,
+    replay,
+    trace_hash,
+)
+from repro.check.faults import (
+    CrashThread,
+    FaultPlan,
+    LinkFlap,
+    MessageFaults,
+    crash_one_pump,
+    message_chaos,
+)
+from repro.check.invariants import (
+    FlowIssue,
+    FlowReport,
+    assert_fifo,
+    assert_flow,
+    assert_no_duplicates,
+    check_conservation,
+    check_flow,
+    check_network,
+    declare_lossy,
+    record_tap,
+)
+from repro.errors import InjectedFault, InvariantViolation
+
+__all__ = [
+    "CrashThread",
+    "DeadlockReport",
+    "ExplorationResult",
+    "FaultPlan",
+    "FlowIssue",
+    "FlowReport",
+    "InjectedFault",
+    "InvariantViolation",
+    "LinkFlap",
+    "MessageFaults",
+    "ReplayChooser",
+    "SeedRun",
+    "SeededChooser",
+    "assert_fifo",
+    "assert_flow",
+    "assert_no_deadlock",
+    "assert_no_duplicates",
+    "blocked_waits",
+    "check_conservation",
+    "check_flow",
+    "check_network",
+    "crash_one_pump",
+    "declare_lossy",
+    "describe_match",
+    "detect",
+    "explore",
+    "find_cycles",
+    "message_chaos",
+    "receive_from",
+    "record_tap",
+    "replay",
+    "run_watched",
+    "trace_hash",
+    "waitfor_graph",
+]

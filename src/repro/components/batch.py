@@ -17,6 +17,8 @@ from repro.core.styles import Consumer, Producer
 class PushBatcher(Consumer):
     """Collects ``size`` consecutive items into one tuple (push style)."""
 
+    conserving = False  # N:1
+
     def __init__(self, size: int, name: str | None = None):
         if size < 1:
             raise ValueError("batch size must be at least 1")
@@ -34,6 +36,8 @@ class PushBatcher(Consumer):
 class PullBatcher(Producer):
     """Collects ``size`` consecutive items into one tuple (pull style)."""
 
+    conserving = False  # N:1
+
     def __init__(self, size: int, name: str | None = None):
         if size < 1:
             raise ValueError("batch size must be at least 1")
@@ -47,6 +51,8 @@ class PullBatcher(Producer):
 class PushUnbatcher(Consumer):
     """Splits each incoming tuple back into its items (push style)."""
 
+    conserving = False  # 1:N
+
     def push(self, batch: Any) -> None:
         for item in batch:
             self.put(item)
@@ -58,6 +64,8 @@ class PullUnbatcher(Producer):
     This is the direction that needs explicit state — the mirror of the
     paper's saved-state observation for the push-mode defragmenter.
     """
+
+    conserving = False  # 1:N
 
     def __init__(self, name: str | None = None):
         super().__init__(name)

@@ -166,6 +166,7 @@ class ZipBuffer(Component):
     """
 
     role = Role.BUFFER
+    conserving = False  # N:1 combine
 
     def __init__(
         self,

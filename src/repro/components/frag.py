@@ -53,6 +53,8 @@ def default_split(y: Any) -> tuple[Any, Any]:
 class PushDefragmenter(Consumer):
     """Figure 4a — push-mode passive defragmenter with explicit state."""
 
+    conserving = False  # 2:1
+
     def __init__(
         self,
         assemble: Callable[[Any, Any], Any] = default_assemble,
@@ -74,6 +76,8 @@ class PushDefragmenter(Consumer):
 class PullDefragmenter(Producer):
     """Figure 4b — pull-mode passive defragmenter, straight-line code."""
 
+    conserving = False  # 2:1
+
     def __init__(
         self,
         assemble: Callable[[Any, Any], Any] = default_assemble,
@@ -90,6 +94,8 @@ class PullDefragmenter(Producer):
 
 class ActiveDefragmenter(ActiveComponent):
     """Figure 6 — active defragmenter: one free-running loop, either mode."""
+
+    conserving = False  # 2:1
 
     def __init__(
         self,
@@ -121,6 +127,8 @@ class ActiveDefragmenter(ActiveComponent):
 class PushFragmenter(Consumer):
     """Push-mode passive fragmenter: the easy direction (no saved state)."""
 
+    conserving = False  # 1:2
+
     def __init__(
         self,
         split: Callable[[Any], tuple[Any, Any]] = default_split,
@@ -139,6 +147,8 @@ class PullFragmenter(Producer):
     """Pull-mode passive fragmenter: here *pull* needs the saved state
     (the exact mirror of the paper's observation that "for a fragmenter,
     push would be the simpler operation")."""
+
+    conserving = False  # 1:2
 
     def __init__(
         self,
@@ -160,6 +170,8 @@ class PullFragmenter(Producer):
 
 class ActiveFragmenter(ActiveComponent):
     """Active fragmenter: one loop, either mode."""
+
+    conserving = False  # 1:2
 
     def __init__(
         self,

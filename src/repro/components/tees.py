@@ -40,6 +40,7 @@ class MulticastTee(Component):
 
     role = Role.TEE
     style = Style.CONSUMER
+    conserving = False  # 1:N fan-out
 
     def __init__(self, n_outputs: int = 2, name: str | None = None):
         if n_outputs < 2:

@@ -114,6 +114,13 @@ class Component:
     #: linear transforms this defaults to (("in", "out"),): the α → α rule.
     mode_links: tuple[tuple[str, str], ...] = ()
 
+    #: Flow-conservation claim checked by :mod:`repro.check.invariants`:
+    #: None (default) means 1:1 — every item in comes out exactly once,
+    #: minus declared drops and currently retained items.  Components with
+    #: a different arity (batchers, fragmenters, multicast tees) set this
+    #: to False to opt out of the count check.
+    conserving: bool | None = None
+
     def __init__(self, name: str | None = None):
         self.name = name or fresh_name(type(self).__name__)
         self.ports: dict[str, Port] = {}

@@ -68,6 +68,23 @@ class DeadlockError(SchedulerError):
     """No thread is runnable but work remains outstanding."""
 
 
+class InjectedFault(RuntimeFault):
+    """A deliberately injected failure (fault-injection harness).
+
+    Raised into threads by :meth:`repro.mbt.scheduler.Scheduler.inject_crash`
+    and used by :mod:`repro.check.faults` so injected crashes are
+    distinguishable from genuine component failures.
+    """
+
+
+class InvariantViolation(RuntimeFault, AssertionError):
+    """A flow invariant (conservation, FIFO order) was violated.
+
+    Also an :class:`AssertionError`, so plain pytest machinery and the
+    schedule explorer's failure accounting both treat it as a test failure.
+    """
+
+
 class ChannelClosed(RuntimeFault):
     """A push or pull was attempted on a terminated pipeline section."""
 

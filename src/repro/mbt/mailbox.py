@@ -105,6 +105,18 @@ class Mailbox:
         """Iterate messages in delivery order without removing them."""
         return (entry[3] for entry in self._ordered_entries())
 
+    def snapshot(self) -> list[tuple[str, str]]:
+        """``(kind, sender)`` of every queued message, delivery order.
+
+        Non-destructive; used by the deadlock detector's hang reports to
+        show messages that are queued but unmatched by the owner's
+        selective receive (the classic lost-wakeup shape).
+        """
+        return [
+            (entry[3].kind, entry[3].sender)
+            for entry in self._ordered_entries()
+        ]
+
     def clear(self) -> list[Message]:
         """Drop and return all queued messages (delivery order)."""
         drained = [entry[3] for entry in self._ordered_entries()]

@@ -31,6 +31,24 @@ n) worst case — and, because the entry key embeds the same
 is *bit-for-bit identical* to the reference linear scan
 (:meth:`_pick_ready_linear`, kept for the property-based equivalence
 tests).
+
+Checking hooks
+--------------
+Three optional hooks exist solely for the deterministic-simulation
+toolkit in :mod:`repro.check`; each is a single ``is not None`` test on
+the relevant path and therefore free when unused:
+
+* :attr:`Scheduler.choice_hook` — called by ``_pick_ready`` (and the
+  linear oracle) with the list of *equally most urgent* ready threads
+  whenever there is more than one; it returns the thread to dispatch.
+  Because only ties are delegated, every schedule the hook can produce
+  is one the priority/constraint semantics already allow — the schedule
+  explorer perturbs exactly this choice.
+* :attr:`Scheduler.delivery_interceptor` — called by ``_deliver`` with
+  each message before it is enqueued; may drop or delay it (fault
+  injection at mailbox granularity, see :mod:`repro.check.faults`).
+* :meth:`Scheduler.inject_crash` — kills a live thread through the
+  normal ``_crash`` path, as if its code function had raised.
 """
 
 from __future__ import annotations
@@ -41,7 +59,7 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Iterable
 
-from repro.errors import SchedulerError
+from repro.errors import InjectedFault, SchedulerError
 from repro.mbt.clock import Clock, VirtualClock
 from repro.mbt.constraints import Constraint
 from repro.mbt.message import Message
@@ -130,6 +148,17 @@ class Scheduler:
         #: The thread currently being dispatched (kept out of the heap).
         self._current: MThread | None = None
 
+        #: Tie-break hook for schedule exploration (see module docstring):
+        #: ``hook(candidates) -> MThread`` with ``candidates`` the equally
+        #: most urgent ready threads in the default dispatch order, so
+        #: ``candidates[0]`` is what the unhooked scheduler would pick.
+        self.choice_hook: Callable[[list[MThread]], MThread] | None = None
+        #: Fault-injection hook: ``interceptor(message)`` returning None
+        #: (deliver now), ``"drop"``, or a positive delay in seconds.
+        self.delivery_interceptor: Callable[[Message], Any] | None = None
+        #: Messages discarded by the delivery interceptor.
+        self.messages_dropped = 0
+
     # ------------------------------------------------------------ threads
 
     def add_thread(self, thread: MThread) -> MThread:
@@ -187,6 +216,25 @@ class Scheduler:
         self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
+        interceptor = self.delivery_interceptor
+        if interceptor is not None:
+            action = interceptor(message)
+            if action is not None:
+                if action == "drop":
+                    self.messages_dropped += 1
+                    if self._trace is not None:
+                        self._record(
+                            "fault-drop", message.kind,
+                            message.sender, message.target,
+                        )
+                    return
+                # A positive number delays the message; the re-delivery
+                # bypasses the interceptor (one fault per message).
+                self.after(float(action), lambda: self._deliver_now(message))
+                return
+        self._deliver_now(message)
+
+    def _deliver_now(self, message: Message) -> None:
         target = self.threads.get(message.target)
         if target is None or target.terminated:
             letters = self.dead_letters
@@ -306,6 +354,8 @@ class Scheduler:
         heapq.heappush(self._ready_heap, entry)
 
     def _pick_ready(self) -> MThread | None:
+        if self.choice_hook is not None:
+            return self._pick_ready_hooked()
         heap = self._ready_heap
         while heap:
             thread = heap[0][5]
@@ -314,6 +364,34 @@ class Scheduler:
                 continue
             return thread
         return None
+
+    def _ready_candidates(self) -> list[MThread]:
+        """The equally most urgent ready threads, default dispatch order.
+
+        ``candidates[0]`` is exactly the thread the heap (or linear) pick
+        would return; any other candidate shares its ``(priority,
+        deadline)`` key, so dispatching it instead is a legal schedule.
+        """
+        best: tuple[float, float] | None = None
+        candidates: list[MThread] = []
+        for thread in self.threads.values():
+            if not thread.is_ready():
+                continue
+            key = thread.effective_sort_key()
+            if best is None or key < best:
+                best, candidates = key, [thread]
+            elif key == best:
+                candidates.append(thread)
+        candidates.sort(key=lambda t: (t._last_ran, t._index))
+        return candidates
+
+    def _pick_ready_hooked(self) -> MThread | None:
+        candidates = self._ready_candidates()
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.choice_hook(candidates)
 
     def _exists_more_urgent_ready(self, current: MThread) -> bool:
         heap = self._ready_heap
@@ -341,6 +419,8 @@ class Scheduler:
 
     def _pick_ready_linear(self) -> MThread | None:
         """The original O(n) scan; must pick exactly what the heap picks."""
+        if self.choice_hook is not None:
+            return self._pick_ready_hooked()
         best: MThread | None = None
         best_key: tuple | None = None
         for thread in self.threads.values():
@@ -452,7 +532,12 @@ class Scheduler:
                 if message is not None:
                     value = message
                     continue
-                self._block_receive(thread, request.match, request.timeout)
+                self._block_receive(
+                    thread,
+                    request.match,
+                    request.timeout,
+                    waiting_on=getattr(request.match, "waiting_on", None),
+                )
                 return
 
             if request_type is Reply:
@@ -496,6 +581,8 @@ class Scheduler:
                     thread,
                     lambda m, _rid=request_id: m.reply_to == _rid,
                     request.timeout,
+                    waiting_on=request.target,
+                    reason=f"reply to {request.kind!r} call",
                 )
                 return
 
@@ -550,8 +637,17 @@ class Scheduler:
             return current.constraint
         return None
 
-    def _block_receive(self, thread, match, timeout) -> None:
-        wait = WaitState(kind="receive", match=match)
+    def _block_receive(
+        self,
+        thread,
+        match,
+        timeout,
+        waiting_on: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        wait = WaitState(
+            kind="receive", match=match, waiting_on=waiting_on, reason=reason
+        )
         if timeout is not None:
             def on_timeout(t=thread, w=wait):
                 if t._wait is w:
@@ -629,6 +725,22 @@ class Scheduler:
                     "CONTINUE or TERMINATE"
                 ),
             )
+
+    def inject_crash(self, name: str, exc: BaseException | None = None) -> bool:
+        """Crash a live thread as if its code function had raised.
+
+        Fault-injection entry for :mod:`repro.check.faults`: the thread
+        dies through the normal ``_crash`` path (state cleared, error
+        collected or raised per ``on_thread_error``).  Returns False when
+        no live thread by that name exists.
+        """
+        thread = self.threads.get(name)
+        if thread is None or thread.terminated:
+            return False
+        if exc is None:
+            exc = InjectedFault(f"injected crash of thread {name!r}")
+        self._crash(thread, exc)
+        return True
 
     def _crash(self, thread: MThread, exc: BaseException) -> None:
         thread.crashed = exc

@@ -50,11 +50,20 @@ class WaitState:
     ``kind`` is ``"receive"`` (waiting for a matching message) or ``"time"``
     (sleeping).  ``timer`` holds a cancellable timer handle used for receive
     timeouts and sleep wake-ups.
+
+    ``waiting_on`` and ``reason`` are diagnostic metadata for the
+    deadlock detector (:mod:`repro.check.deadlock`): the name of the
+    thread this wait depends on, when the blocker knows it (synchronous
+    ``Call`` replies, match predicates carrying a ``waiting_on``
+    attribute), and a human-readable cause.  They never influence
+    scheduling.
     """
 
     kind: str
     match: Callable[[Message], bool] | None = None
     timer: Any = None
+    waiting_on: str | None = None
+    reason: str | None = None
 
 
 class MThread:

@@ -26,6 +26,8 @@ class Network:
         self._nodes: set[str] = set()
         #: flow id -> receive callback (called with the packet on arrival).
         self._receivers: dict[str, Callable[[Packet], None]] = {}
+        #: Saved loss rates of links currently forced down (fault injection).
+        self._downed: dict[tuple[str, str], float] = {}
 
     # ------------------------------------------------------------ topology
 
@@ -110,6 +112,28 @@ class Network:
             )
         self.scheduler.at(arrival, lambda: receive(packet))
         return True
+
+    # ------------------------------------------------------------ faults
+
+    def take_link_down(self, src: str, dst: str) -> None:
+        """Force a link down: every packet admitted while down is lost.
+
+        Used by :mod:`repro.check.faults` to model link flaps.  Idempotent;
+        the pre-flap loss rate is restored by :meth:`bring_link_up`.
+        """
+        link = self.link(src, dst)
+        if (src, dst) not in self._downed:
+            self._downed[(src, dst)] = link.loss_rate
+            link.loss_rate = 1.0
+
+    def bring_link_up(self, src: str, dst: str) -> None:
+        """Restore a link taken down by :meth:`take_link_down`."""
+        saved = self._downed.pop((src, dst), None)
+        if saved is not None:
+            self.link(src, dst).loss_rate = saved
+
+    def link_is_down(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._downed
 
     # ------------------------------------------------------------ QoS views
 

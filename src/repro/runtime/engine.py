@@ -414,6 +414,11 @@ class CoroutineDriver:
             yield Reply(message, "ok")
             return
 
+        if self.component.style is Style.ACTIVE:
+            # Count on actual delivery, like pull mode does — the body's
+            # *request* for input (its PullOp) may only ever be answered
+            # by EOS, which is not an item.
+            self.component.stats["items_in"] += 1
         request = self._resume(item)
         yield from self._drive_to_pull(request)
         yield Reply(message, "ok")
@@ -443,8 +448,6 @@ class CoroutineDriver:
                 request = self._resume(None)
                 continue
             if isinstance(request, PullOp):
-                if self.component.style is Style.ACTIVE:
-                    self.component.stats["items_in"] += 1
                 return request
             raise RuntimeFault(
                 f"{self.component.name!r} yielded unexpected {request!r}"
@@ -906,10 +909,16 @@ class Engine:
     @property
     def stats(self) -> PipelineStats:
         self._flush_switches()
+        retained = {}
+        for component in self.pipeline.components:
+            level = getattr(component, "fill_level", None)
+            if isinstance(level, int) and level > 0:
+                retained[component.name] = level
         snapshot = PipelineStats(
             components={
                 c.name: dict(c.stats) for c in self.pipeline.components
             },
+            retained=retained,
             context_switches=self.scheduler.context_switches,
             coroutine_switches=self.stats_counters["coroutine_switches"],
             messages_delivered=self.scheduler.messages_delivered,

@@ -22,6 +22,10 @@ class PipelineStats:
     cycles: dict[str, int] = field(default_factory=dict)
     #: Cycles that found no data (nil policy upstream), per origin.
     nil_cycles: dict[str, int] = field(default_factory=dict)
+    #: Items still held inside stateful components (buffer fill levels,
+    #: netpipe receive queues) at snapshot — the flow-invariant checker
+    #: needs these to account for in-flight items.
+    retained: dict[str, int] = field(default_factory=dict)
     #: Virtual (or real) time at snapshot.
     time: float = 0.0
     #: User-level threads created for the pipeline.
@@ -39,6 +43,28 @@ class PipelineStats:
 
     def total_cycles(self) -> int:
         return sum(self.cycles.values())
+
+    def drops(self, component_name: str) -> int:
+        """Items a component *declared* dropping: the sum of its counters
+        named ``drops`` or ``dropped*`` (``drops``, ``dropped_B``, ...).
+
+        Declared drops are the only loss the flow-invariant checker
+        (:mod:`repro.check.invariants`) accepts from a conserving
+        component.
+        """
+        counters = self.components.get(component_name, {})
+        return sum(
+            value
+            for key, value in counters.items()
+            if isinstance(value, int)
+            and (key == "drops" or key.startswith("dropped"))
+        )
+
+    def total_drops(self) -> int:
+        return sum(self.drops(name) for name in self.components)
+
+    def retained_in(self, component_name: str) -> int:
+        return self.retained.get(component_name, 0)
 
     def summary(self) -> str:
         lines = [
