@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Real-rate control: a PID loop pacing the producer to the consumer.
+"""Real-rate control driven by the telemetry registry.
 
 Section 3.1's second pump class "adjusts its speed according to the state
 of other pipeline components ... More elaborate approaches adjust CPU
@@ -7,35 +7,54 @@ allocations among pipeline stages according to feedback from buffer fill
 levels" (the Steere et al. real-rate allocator, the paper's ref [27]).
 
 Here the consumer drains a buffer at a rate the producer cannot know (it
-even changes mid-run); a PID controller watches the buffer's fill level
-and steers a FeedbackPump so the buffer hovers at the 50% setpoint —
-neither starving nor overflowing.
+even changes mid-run).  The control signal is **not** wired to the buffer
+object: a :class:`~repro.obs.Telemetry` layer publishes every component's
+state into a metrics registry, and a
+:class:`~repro.feedback.MetricSensor` reads the buffer's
+``repro_buffer_fill_fraction`` gauge out of it — the same single source a
+dashboard or the Prometheus exporter would read.  A PID controller steers
+a FeedbackPump so the buffer hovers at the 50% setpoint, and the same
+registry afterwards answers *where items spent their time* (queue wait
+p95 per boundary).
 """
 
 from repro import Buffer, CollectSink, Engine, FeedbackPump, pipeline
 from repro.components.sources import CountingSource
-from repro.feedback import BufferFillSensor, FeedbackLoop, PidController, PumpRateActuator
+from repro.feedback import (
+    FeedbackLoop,
+    MetricSensor,
+    PidController,
+    PumpRateActuator,
+)
+from repro.obs import Telemetry
 
 
 def main() -> None:
     source = CountingSource()
     producer = FeedbackPump(5.0, min_rate_hz=1, max_rate_hz=500,
                             name="producer-pump")
-    buffer = Buffer(capacity=20)
+    buffer = Buffer(capacity=20, name="rate-buffer")
     consumer = FeedbackPump(50.0, min_rate_hz=1, max_rate_hz=500,
                             name="consumer-pump")
     sink = CollectSink()
     pipe = pipeline(source, producer, buffer, consumer, sink)
 
     engine = Engine(pipe)
+    telemetry = Telemetry().attach(engine)
+
+    # The sensor addresses the registry, not the component: any metric the
+    # runtime publishes (fill fractions, stage p95 latency, drop counters)
+    # can drive a controller the same way.
+    fill = MetricSensor(
+        telemetry.registry, "repro_buffer_fill_fraction",
+        labels={"component": "rate-buffer"},
+    )
     controller = PidController(
         setpoint=0.5, kp=60.0, ki=25.0, kd=2.0,
         output_min=1.0, output_max=500.0, bias=50.0,
     )
-    loop = FeedbackLoop(
-        BufferFillSensor(buffer), controller, PumpRateActuator(producer),
-        period=0.1,
-    )
+    loop = FeedbackLoop(fill, controller, PumpRateActuator(producer),
+                        period=0.1)
     loop.attach(engine)
 
     engine.start()
@@ -55,16 +74,24 @@ def main() -> None:
     engine.run(max_steps=200_000)
 
     print("buffer fill trajectory (t, fill, commanded rate):")
-    for t, fill, rate in loop.history[::15]:
-        print(f"  t={t:5.1f}s  fill={fill:4.0%}  rate={rate:6.1f} Hz")
+    for t, fill_level, rate in loop.history[::15]:
+        print(f"  t={t:5.1f}s  fill={fill_level:4.0%}  rate={rate:6.1f} Hz")
     print()
     print(f"consumed {mid} items in the first 6s (~50/s) and "
           f"{len(sink.items) - mid} in the next 18s (~120/s once settled)")
     for lo, hi, label in ((3.0, 6.0, "before the rate change"),
                           (18.0, 24.0, "after re-convergence")):
-        window = [fill for t, fill, _ in loop.history if lo < t <= hi]
+        window = [fill_level for t, fill_level, _ in loop.history
+                  if lo < t <= hi]
         print(f"average fill {label}: "
               f"{sum(window) / max(1, len(window)):.0%} (setpoint 50%)")
+
+    print()
+    print("where items waited (from the same registry the sensor read):")
+    for hist in telemetry.registry.family("repro_buffer_wait_seconds"):
+        component = dict(hist.labels).get("component", "?")
+        print(f"  {component}: n={hist.count} wait p50={hist.p50:.3f}s "
+              f"p95={hist.p95:.3f}s max={hist.max:.3f}s")
 
 
 if __name__ == "__main__":

@@ -4,10 +4,16 @@
 
     python -m repro describe "counting(limit=5) >> greedy_pump >> collect"
     python -m repro run pipeline.ipc --until 10
+    python -m repro run pipeline.ipc --metrics --trace-out trace.json
+    python -m repro timeline pipeline.ipc --until 5
     python -m repro components
 
 ``describe`` prints the thread/coroutine allocation the middleware chose;
-``run`` executes the pipeline on the virtual clock and prints statistics;
+``run`` executes the pipeline on the virtual clock and prints statistics —
+with ``--metrics`` it attaches the observability layer and prints the
+Prometheus exposition, with ``--trace-out``/``--events-out`` it exports a
+Chrome trace-event JSON / JSONL event log; ``timeline`` runs the pipeline
+traced and prints the text Gantt chart of which thread held the CPU;
 ``components`` lists the factory names usable in descriptions.
 """
 
@@ -40,15 +46,59 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _run_engine(args: argparse.Namespace, trace: bool = False):
+    """Build, telemeter (if asked) and run the described pipeline."""
     result = build(_load_source(args.pipeline))
-    engine = Engine(result.pipeline, backend=args.backend)
+    want_trace = trace or getattr(args, "trace_out", None) is not None \
+        or getattr(args, "events_out", None) is not None
+    engine = Engine(
+        result.pipeline,
+        backend=args.backend,
+        trace=want_trace,
+        trace_limit=getattr(args, "trace_limit", None),
+    )
+    telemetry = None
+    if getattr(args, "metrics", False):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry().attach(engine)
     engine.start()
     engine.run(until=args.until, max_steps=args.max_steps)
     if args.until is not None:
         engine.stop()
         engine.run(max_steps=args.max_steps or 1_000_000)
+    return engine, telemetry
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    engine, telemetry = _run_engine(args)
     print(engine.stats.summary())
+    if args.trace_out is not None:
+        from repro.obs import export_chrome_trace
+
+        document = export_chrome_trace(engine.scheduler, args.trace_out)
+        print(
+            f"wrote {len(document['traceEvents'])} trace events "
+            f"to {args.trace_out}"
+        )
+    if args.events_out is not None:
+        from repro.obs import export_jsonl
+
+        count = export_jsonl(engine.scheduler, args.events_out)
+        print(f"wrote {count} events to {args.events_out}")
+    if telemetry is not None:
+        print()
+        print(telemetry.prometheus(), end="")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.mbt.tracing import summarize, timeline
+
+    engine, _ = _run_engine(args, trace=True)
+    print(timeline(engine.scheduler, width=args.width))
+    print()
+    print(summarize(engine.scheduler))
     return 0
 
 
@@ -56,6 +106,17 @@ def cmd_components(args: argparse.Namespace) -> int:
     for name in sorted(default_registry().names()):
         print(name)
     return 0
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("pipeline", help="description text or file path")
+    parser.add_argument("--until", type=float, default=None,
+                        help="virtual-time horizon (default: run to EOS)")
+    parser.add_argument("--max-steps", type=int, default=None)
+    parser.add_argument("--backend", choices=("generator", "thread"),
+                        default="generator")
+    parser.add_argument("--trace-limit", type=int, default=None,
+                        help="keep only the newest N trace events (ring)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,13 +133,22 @@ def main(argv: list[str] | None = None) -> int:
     describe.set_defaults(handler=cmd_describe)
 
     run = commands.add_parser("run", help="execute a description")
-    run.add_argument("pipeline", help="description text or file path")
-    run.add_argument("--until", type=float, default=None,
-                     help="virtual-time horizon (default: run to EOS)")
-    run.add_argument("--max-steps", type=int, default=None)
-    run.add_argument("--backend", choices=("generator", "thread"),
-                     default="generator")
+    _add_run_options(run)
+    run.add_argument("--metrics", action="store_true",
+                     help="attach telemetry; print Prometheus exposition")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome trace-event JSON file")
+    run.add_argument("--events-out", default=None, metavar="FILE",
+                     help="write the scheduler event log as JSONL")
     run.set_defaults(handler=cmd_run)
+
+    timeline_cmd = commands.add_parser(
+        "timeline", help="run traced and print the thread timeline"
+    )
+    _add_run_options(timeline_cmd)
+    timeline_cmd.add_argument("--width", type=int, default=64,
+                              help="timeline width in columns")
+    timeline_cmd.set_defaults(handler=cmd_timeline)
 
     components = commands.add_parser(
         "components", help="list registered component types"

@@ -126,7 +126,8 @@ def trace_hash(trace: Sequence[tuple]) -> str:
 
 
 def _trace_tail(scheduler, limit: int) -> str:
-    trace = scheduler._trace or []
+    # list() first: the trace may be a ring deque, which cannot be sliced.
+    trace = list(scheduler._trace or [])
     tail = trace[-limit:]
     lines = []
     if len(trace) > len(tail):

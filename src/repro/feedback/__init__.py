@@ -25,6 +25,7 @@ from repro.feedback.sensors import (
     BufferFillSensor,
     CallbackSensor,
     LossSensor,
+    MetricSensor,
     RateSensor,
     Sensor,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "EwmaSmoother",
     "FeedbackLoop",
     "LossSensor",
+    "MetricSensor",
     "PidController",
     "PumpRateActuator",
     "RateSensor",

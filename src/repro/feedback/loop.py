@@ -47,6 +47,7 @@ class FeedbackLoop:
         self._engine = engine
         engine.setup()
         engine.add_service(self)  # engine.stop() also stops this loop
+        self.sensor.bind(engine)
         self.actuator.bind(engine.events)
         self.running = True
         engine.scheduler.after(self.period, self._tick)

@@ -14,6 +14,14 @@ class Sensor:
     def sample(self) -> float:
         raise NotImplementedError
 
+    def bind(self, engine) -> None:
+        """Late-bind the sensor to the engine it ends up attached to.
+
+        Called by :meth:`repro.feedback.loop.FeedbackLoop.attach`; the
+        default is a no-op.  Sensors that need a clock (``RateSensor``)
+        use it to default to the pipeline's virtual clock.
+        """
+
 
 class BufferFillSensor(Sensor):
     """Fill fraction (0..1) of a buffer — the classic real-rate signal
@@ -28,7 +36,14 @@ class BufferFillSensor(Sensor):
 
 
 class RateSensor(Sensor):
-    """Items/second through a component since the previous sample."""
+    """Items/second through a component since the previous sample.
+
+    Without an explicit ``now`` clock the sensor reports raw per-sample
+    deltas *until* it is attached to an engine through a feedback loop, at
+    which point it binds the pipeline's own (virtual) clock and reports
+    true items/second — the natural default, since the loop's sampling
+    period runs on that same clock.
+    """
 
     def __init__(self, component: Component, counter: str = "items_out",
                  now: Callable[[], float] | None = None):
@@ -37,6 +52,10 @@ class RateSensor(Sensor):
         self._now = now
         self._last_count = 0
         self._last_time: float | None = None
+
+    def bind(self, engine) -> None:
+        if self._now is None:
+            self._now = engine.scheduler.now
 
     def sample(self) -> float:
         count = self.component.stats.get(self.counter, 0)
@@ -94,3 +113,74 @@ class CallbackSensor(Sensor):
 
     def sample(self) -> float:
         return float(self._fn())
+
+
+class MetricSensor(Sensor):
+    """Reads a metric from an observability registry (duck-typed against
+    :class:`repro.obs.metrics.MetricsRegistry`).
+
+    This closes the loop the observability layer opens: the runtime
+    publishes buffer fill, stage latency and loss into one registry, and
+    controllers consume the *same* numbers the operator sees::
+
+        telemetry = Telemetry().attach(engine)
+        latency = MetricSensor(
+            telemetry.registry, "repro_stage_latency_seconds",
+            stat="p95", labels={"stage": "pump-1"},
+        )
+        FeedbackLoop(sensor=latency, controller=..., actuator=...)
+
+    ``stat`` selects what to read: ``"value"`` (counters/gauges),
+    ``"rate"`` (value delta per second since the previous sample), or a
+    histogram aggregate (``"p50"``, ``"p95"``, ``"p99"``, ``"mean"``).
+    A metric that does not exist yet samples as ``default`` — registries
+    create histograms lazily, often after the loop starts sampling.
+    """
+
+    _HIST_STATS = frozenset({"p50", "p95", "p99", "mean"})
+
+    def __init__(
+        self,
+        registry,
+        name: str,
+        stat: str = "value",
+        labels: dict | None = None,
+        default: float = 0.0,
+        now: Callable[[], float] | None = None,
+    ):
+        if stat not in self._HIST_STATS and stat not in ("value", "rate"):
+            raise ValueError(f"unknown metric stat {stat!r}")
+        self.registry = registry
+        self.name = name
+        self.stat = stat
+        self.labels = dict(labels or {})
+        self.default = float(default)
+        self._now = now
+        self._last_value: float | None = None
+        self._last_time: float | None = None
+
+    def bind(self, engine) -> None:
+        if self._now is None:
+            self._now = engine.scheduler.now
+
+    def _metric(self):
+        return self.registry.get(self.name, **self.labels)
+
+    def sample(self) -> float:
+        metric = self._metric()
+        if metric is None:
+            return self.default
+        if self.stat in self._HIST_STATS:
+            return float(getattr(metric, self.stat))
+        value = float(metric.value)
+        if self.stat == "value":
+            return value
+        # rate: delta per second (per sample period without a clock).
+        last_value, self._last_value = self._last_value, value
+        if self._now is None:
+            return value - last_value if last_value is not None else 0.0
+        now = self._now()
+        last_time, self._last_time = self._last_time, now
+        if last_value is None or last_time is None or now <= last_time:
+            return 0.0
+        return (value - last_value) / (now - last_time)

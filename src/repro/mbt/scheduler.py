@@ -49,6 +49,23 @@ the relevant path and therefore free when unused:
   injection at mailbox granularity, see :mod:`repro.check.faults`).
 * :meth:`Scheduler.inject_crash` — kills a live thread through the
   normal ``_crash`` path, as if its code function had raised.
+
+Observability hooks
+-------------------
+Two further optional facilities serve :mod:`repro.obs` and cost nothing
+when unused:
+
+* :attr:`Scheduler._obs` — a probe object (normally
+  :class:`repro.obs.sched.SchedulerProbe`) whose ``on_dispatch`` /
+  ``on_cpu`` / ``on_wall`` / ``on_donation`` / ``on_constraint`` methods
+  are invoked from the dispatch path, each behind an ``is not None``
+  test.  With no probe installed the trace stream and timing are
+  bit-for-bit what they were before the hooks existed (the golden trace
+  tests pin this).
+* Bounded tracing — ``trace_limit`` (or :meth:`enable_trace` with a
+  limit) keeps the trace in a ring (``deque(maxlen=...)``) instead of an
+  unbounded list, counting evictions in :attr:`trace_dropped`.  This is
+  the substrate of :class:`repro.obs.recorder.FlightRecorder`.
 """
 
 from __future__ import annotations
@@ -57,6 +74,7 @@ import heapq
 import inspect
 import itertools
 from collections import deque
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Iterable
 
 from repro.errors import InjectedFault, SchedulerError
@@ -113,10 +131,14 @@ class Scheduler:
         trace: bool = False,
         on_thread_error: str = "raise",
         dead_letter_limit: int | None = DEAD_LETTER_LIMIT,
+        trace_limit: int | None = None,
     ):
         if on_thread_error not in ("raise", "collect"):
             raise ValueError("on_thread_error must be 'raise' or 'collect'")
         self.clock = clock if clock is not None else VirtualClock()
+        # Bound once: tracing and probe hooks stamp times on every event,
+        # and the attribute chain is measurable there.
+        self._clock_now = self.clock.now
         self.threads: dict[str, MThread] = {}
         #: Undeliverable messages, newest last; bounded by
         #: ``dead_letter_limit`` (None = unbounded).
@@ -138,7 +160,15 @@ class Scheduler:
         self._thread_seq = itertools.count()
         self._run_seq = itertools.count(1)
         self._last_running: MThread | None = None
-        self._trace: list[tuple] | None = [] if trace else None
+        #: Event trace: None (off), a list (unbounded), or a ring
+        #: (``deque(maxlen=trace_limit)``) keeping only the newest events.
+        self._trace: Any = None
+        if trace or trace_limit is not None:
+            self._trace = [] if trace_limit is None else deque(maxlen=trace_limit)
+        #: Events evicted from a bounded trace ring.
+        self.trace_dropped = 0
+        #: Observability probe (see module docstring); None = uninstrumented.
+        self._obs: Any = None
         self._reservations: dict[str, float] = {}
 
         #: Indexed ready queue: heap of [prio, deadline, last_ran, index,
@@ -243,8 +273,17 @@ class Scheduler:
             letters.append(message)
             return
         self.messages_delivered += 1
-        if self._trace is not None:
-            self._record("deliver", message.kind, message.sender, message.target)
+        trace = self._trace
+        if trace is not None:
+            # _record inlined: "deliver" is one of the three per-message
+            # event kinds, and the call overhead shows up in the
+            # flight-recorder benchmarks.
+            if type(trace) is deque and len(trace) == trace.maxlen:
+                self.trace_dropped += 1
+            trace.append((
+                self._clock_now(), "deliver",
+                message.kind, message.sender, message.target,
+            ))
         wait = target._wait
         if (
             wait is not None
@@ -341,6 +380,8 @@ class Scheduler:
             or not thread.is_ready()
         ):
             return
+        if self._obs is not None and thread._ready_since is None:
+            thread._ready_since = self._clock_now()
         key = thread.effective_sort_key()
         entry = [
             key[0],
@@ -455,6 +496,11 @@ class Scheduler:
         self.steps += 1
         thread._last_ran = next(self._run_seq)
 
+        obs = self._obs
+        if obs is not None:
+            obs.on_dispatch(thread, self._clock_now())
+            wall_start = _perf_counter()
+
         self._current = thread
         entry = thread._heap_entry
         if entry is not None:
@@ -474,8 +520,16 @@ class Scheduler:
                 return
             thread._current_message = message
             thread._key_cache = None
-            if self._trace is not None:
-                self._record("dispatch", thread.name, message.kind)
+            if obs is not None and message.constraint is not None:
+                obs.on_constraint(thread.name)
+            trace = self._trace
+            if trace is not None:
+                # _record inlined (per-message hot path).
+                if type(trace) is deque and len(trace) == trace.maxlen:
+                    self.trace_dropped += 1
+                trace.append((
+                    self._clock_now(), "dispatch", thread.name, message.kind,
+                ))
             try:
                 result = thread.code(thread, message)
             except Exception as exc:
@@ -489,6 +543,8 @@ class Scheduler:
         finally:
             self._current = None
             self._reindex(thread)
+            if obs is not None:
+                obs.on_wall(thread, _perf_counter() - wall_start)
 
     def _drive(self, thread: MThread, first: bool = False) -> None:
         """Advance the thread's generator until it blocks or completes."""
@@ -575,6 +631,8 @@ class Scheduler:
                         else thread.priority
                     )
                     callee.donate(message.msg_id, inherited)
+                    if self._obs is not None:
+                        self._obs.on_donation(callee.name)
                 self._deliver(message)
                 request_id = message.msg_id
                 self._block_receive(
@@ -684,10 +742,14 @@ class Scheduler:
             next_t = self._next_timer_time()
             if next_t is None or next_t >= target - _EPS:
                 self.clock.advance_to(target)
+                if self._obs is not None:
+                    self._obs.on_cpu(thread.name, target - now)
                 thread._pending_work = 0.0
                 return True
             self.clock.advance_to(next_t)
             thread._pending_work -= next_t - now
+            if self._obs is not None:
+                self._obs.on_cpu(thread.name, next_t - now)
             self._fire_due_timers()
             if self._exists_more_urgent_ready(thread):
                 if self._trace is not None:
@@ -710,8 +772,12 @@ class Scheduler:
         thread._resume_value = None
         thread._resume_exc = None
         thread._key_cache = None
-        if self._trace is not None:
-            self._record("done", thread.name)
+        trace = self._trace
+        if trace is not None:
+            # _record inlined (per-message hot path).
+            if type(trace) is deque and len(trace) == trace.maxlen:
+                self.trace_dropped += 1
+            trace.append((self._clock_now(), "done", thread.name))
         if result is TERMINATE:
             thread.terminated = True
             thread.clear_execution_state()
@@ -754,12 +820,25 @@ class Scheduler:
 
     # ------------------------------------------------------------ tracing
 
+    def enable_trace(self, limit: int | None = None) -> None:
+        """Start tracing (unbounded list, or a ring of ``limit`` events).
+
+        A no-op when tracing is already on — an existing unbounded trace
+        subsumes any ring, and an existing ring keeps its capacity.
+        """
+        if self._trace is None:
+            self._trace = [] if limit is None else deque(maxlen=limit)
+
     def _record(self, *event: Any) -> None:
-        if self._trace is not None:
-            self._trace.append((self.clock.now(), *event))
+        trace = self._trace
+        if trace is not None:
+            if type(trace) is deque and len(trace) == trace.maxlen:
+                self.trace_dropped += 1
+            trace.append((self._clock_now(), *event))
 
     @property
-    def trace(self) -> list[tuple]:
+    def trace(self):
+        """The event trace: a list, or a ``deque`` when ring-bounded."""
         if self._trace is None:
             raise SchedulerError("tracing was not enabled")
         return self._trace

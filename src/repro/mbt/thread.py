@@ -101,6 +101,8 @@ class MThread:
         "_key_cache",
         "_scheduler",
         "_heap_entry",
+        "_ready_since",
+        "_obs_counters",
     )
 
     def __init__(
@@ -141,6 +143,12 @@ class MThread:
         self._scheduler: Any = None
         #: The thread's live entry in the scheduler's ready heap, if any.
         self._heap_entry: list | None = None
+        #: Virtual time this thread entered the ready queue; maintained
+        #: only when a scheduler observability probe is installed.
+        self._ready_since: float | None = None
+        #: (probe, dispatch_counter, wall_counter) cached by the installed
+        #: SchedulerProbe so the per-dispatch hooks skip the name lookups.
+        self._obs_counters: tuple | None = None
 
         self.mailbox._listener = self._invalidate_key
 

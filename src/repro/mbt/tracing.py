@@ -71,13 +71,19 @@ def timeline(
     threads = sorted({name for _, name in switches})
     rows = {name: ["."] * width for name in threads}
 
-    # Attribute each inter-switch interval to the running thread.
-    for (t_from, name), (t_to, _next) in zip(switches,
-                                             switches[1:] + [(end, None)]):
-        first = min(width - 1, max(0, int((t_from - start) / slot)))
-        last = min(width - 1, max(0, int((t_to - start) / slot)))
-        for index in range(first, last + 1):
-            rows[name][index] = "#"
+    # Attribute each column to the thread running at the column's start
+    # instant, so every column carries exactly one '#' (a column is one
+    # time slot; marking both ends of each interval used to double-book
+    # the slot a switch fell into).
+    switch_index = 0
+    for column in range(width):
+        slot_start = start + column * slot
+        while (
+            switch_index + 1 < len(switches)
+            and switches[switch_index + 1][0] <= slot_start
+        ):
+            switch_index += 1
+        rows[switches[switch_index][1]][column] = "#"
 
     label_width = max(len(name) for name in threads)
     header = (f"{'':{label_width}}  t={start:.3f}"

@@ -91,6 +91,23 @@ class NetpipeReceiver(Component):
             self.flow_spec, context=f"flow received by {self.name!r}"
         )
 
+    # -- wait telemetry (same positional scheme as Buffer) -------------------
+
+    _obs_now = None
+    _obs_wait = None
+    _obs_ts: deque | None = None
+
+    def enable_wait_telemetry(self, now, histogram) -> None:
+        """Record arrival-to-pull waits into ``histogram``; packets already
+        queued are timed from this call."""
+        self._obs_now = now
+        self._obs_wait = histogram
+        ts = deque()
+        current = now()
+        for _ in self._queue:
+            ts.append(current)
+        self._obs_ts = ts
+
     # -- runtime boundary interface (buffer-compatible) ----------------------
 
     @property
@@ -109,6 +126,8 @@ class NetpipeReceiver(Component):
     def try_pull(self, port: str = "out") -> tuple[str, Any]:
         if self._queue:
             self.stats["items_out"] += 1
+            if self._obs_now is not None and self._obs_ts:
+                self._obs_wait.observe(self._obs_now() - self._obs_ts.popleft())
             return OK, self._queue.popleft()
         if self._eos_pending:
             self._eos_pending = False
@@ -124,6 +143,8 @@ class NetpipeReceiver(Component):
 
     def _deliver(self, payload: bytes) -> None:
         self._queue.append(payload)
+        if self._obs_now is not None:
+            self._obs_ts.append(self._obs_now())
         self.stats["items_in"] += 1
         if self._gate is not None:
             self._gate.external_wake_pullers()

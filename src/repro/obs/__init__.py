@@ -1,0 +1,61 @@
+"""Observability: metrics, per-item latency spans, traces, exporters.
+
+End-to-end telemetry for the infopipe runtime, built around three ideas:
+
+* **Inert when off** — every runtime hook is a ``None`` check; an engine
+  without a :class:`Telemetry` attached runs the identical instruction
+  stream (pinned by the golden scheduler traces).
+* **No per-item allocation** — span context is positional (timestamp
+  queues at FIFO boundaries) and every measurement streams into fixed
+  log-bucket histograms.
+* **One source of truth** — the runtime publishes into a single
+  :class:`MetricsRegistry`; feedback sensors, ``stats.summary()``
+  decoration, and the Prometheus/Chrome/JSONL exporters all read from it.
+
+Typical use::
+
+    from repro.obs import Telemetry
+
+    engine = Engine(pipe)
+    telemetry = Telemetry(recorder_capacity=4096).attach(engine)
+    engine.start(); engine.run()
+    print(telemetry.prometheus())
+
+or from the CLI: ``python -m repro run --metrics --trace-out trace.json``.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    jsonl_events,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.sched import SchedulerProbe
+from repro.obs.spans import Span, Telemetry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "SchedulerProbe",
+    "Span",
+    "Telemetry",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "jsonl_events",
+    "prometheus_text",
+]

@@ -1,0 +1,76 @@
+"""Flight recorder: a bounded ring of the scheduler's most recent events.
+
+Full tracing (``Engine(pipe, trace=True)``) keeps *every* event and is the
+right tool for golden tests and offline analysis — but it grows without
+bound, so production runs leave it off and fly blind.  The flight recorder
+is the middle ground: the scheduler's event stream flows into a fixed-size
+ring (a ``deque`` with ``maxlen``), so after an incident the last *N*
+events — who ran, what blocked, which message crashed a thread — are
+always available, at a constant memory cost and with zero configuration.
+
+Implementation-wise the ring *is* a bounded scheduler trace
+(:meth:`repro.mbt.scheduler.Scheduler.enable_trace` with a limit), which
+keeps one event-emission path in the scheduler and means every trace
+consumer — :mod:`repro.mbt.tracing`, the Chrome/JSONL exporters — works on
+a flight recording unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.mbt.scheduler import Scheduler
+
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Keeps the scheduler's last ``capacity`` events in a ring."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._scheduler: Scheduler | None = None
+
+    def attach(self, scheduler: Scheduler) -> "FlightRecorder":
+        """Start recording on ``scheduler``.
+
+        A no-op when the scheduler already traces (the full trace subsumes
+        the ring); otherwise enables ring-bounded tracing.
+        """
+        scheduler.enable_trace(limit=self.capacity)
+        self._scheduler = scheduler
+        return self
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def scheduler(self) -> Scheduler:
+        if self._scheduler is None:
+            raise RuntimeError("flight recorder is not attached")
+        return self._scheduler
+
+    def events(self) -> list[tuple]:
+        """The retained events, oldest first."""
+        return list(self.scheduler.trace)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since recording started."""
+        return self.scheduler.trace_dropped
+
+    def __len__(self) -> int:
+        return len(self.scheduler.trace)
+
+    def format(self, limit: int | None = None) -> str:
+        """Human-readable dump of the retained events, newest last."""
+        events = self.events()
+        if limit is not None:
+            events = events[-limit:]
+        lines = [
+            f"{time_stamp:10.6f}  {kind:<10} "
+            + " ".join(str(part) for part in details)
+            for time_stamp, kind, *details in events
+        ]
+        if self.dropped:
+            lines.insert(0, f"... ({self.dropped} earlier events evicted)")
+        return "\n".join(lines) if lines else "(no events retained)"

@@ -1,0 +1,140 @@
+"""Scheduler instrumentation: run-queue wait, CPU attribution, inheritance.
+
+The scheduler is where thread transparency becomes thread *opacity*: the
+programmer cannot see which pump starved or who inherited whose priority,
+so the middleware must measure it.  A :class:`SchedulerProbe` hangs off
+``Scheduler._obs`` (``None`` by default — every hook is a single
+``is not None`` test, so an uninstrumented scheduler pays one pointer
+compare per dispatch) and publishes into the metrics registry:
+
+``repro_sched_run_queue_wait_seconds`` (histogram)
+    Virtual time between a thread entering the ready queue and being
+    dispatched — the queueing component of every latency in the system.
+``repro_sched_dispatches_total{thread=}`` (counter)
+    Dispatches per thread.
+``repro_sched_cpu_seconds_total{thread=,mode=}`` (counter)
+    Per-thread CPU attribution: ``mode="virtual"`` sums simulated ``Work``
+    time on the virtual clock; ``mode="wall"`` sums real ``perf_counter``
+    time spent inside the dispatch — where the interpreter actually went.
+``repro_sched_donations_total{thread=}`` (counter)
+    Priority-inheritance donations received (synchronous calls into the
+    thread while a more urgent constraint was active).
+``repro_sched_constraint_dispatches_total{thread=}`` (counter)
+    Dispatches whose message carried an explicit timing constraint.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class SchedulerProbe:
+    """Publishes scheduler internals into a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.run_queue_wait: Histogram = registry.histogram(
+            "repro_sched_run_queue_wait_seconds",
+            help="Virtual seconds from ready to dispatched",
+        )
+        # Per-thread counter caches: one dict lookup per event instead of a
+        # registry get-or-create (which canonicalizes labels) per event.
+        self._dispatches: dict[str, Counter] = {}
+        self._cpu_virtual: dict[str, Counter] = {}
+        self._cpu_wall: dict[str, Counter] = {}
+        self._donations: dict[str, Counter] = {}
+        self._constraints: dict[str, Counter] = {}
+
+    def install(self, scheduler) -> "SchedulerProbe":
+        scheduler._obs = self
+        return self
+
+    # ------------------------------------------------------------ hooks
+    # Called from the scheduler hot path, always behind an `_obs is not
+    # None` guard; everything here may allocate (first sight of a thread)
+    # but steady-state is dict hits and scalar adds.
+
+    def _thread_counters(self, thread) -> tuple:
+        """(probe, dispatch, wall) counter cache slotted on the thread.
+
+        The probe tag guards against a stale cache if a second probe is
+        ever installed over the same scheduler.
+        """
+        name = thread.name
+        dispatches = self.registry.counter(
+            "repro_sched_dispatches_total",
+            help="Thread dispatches",
+            thread=name,
+        )
+        wall = self.registry.counter(
+            "repro_sched_cpu_seconds_total",
+            help="CPU time attributed per thread",
+            thread=name, mode="wall",
+        )
+        self._dispatches[name] = dispatches
+        self._cpu_wall[name] = wall
+        cached = (self, dispatches, wall)
+        thread._obs_counters = cached
+        return cached
+
+    def on_dispatch(self, thread, now: float) -> None:
+        ready_since = thread._ready_since
+        if ready_since is not None:
+            thread._ready_since = None
+            self.run_queue_wait.observe(now - ready_since)
+        cached = thread._obs_counters
+        if cached is None or cached[0] is not self:
+            cached = self._thread_counters(thread)
+        cached[1].value += 1
+
+    def on_wall(self, thread, seconds: float) -> None:
+        cached = thread._obs_counters
+        if cached is None or cached[0] is not self:
+            cached = self._thread_counters(thread)
+        cached[2].value += seconds
+
+    def on_cpu(self, thread_name: str, seconds: float) -> None:
+        counter = self._cpu_virtual.get(thread_name)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_sched_cpu_seconds_total",
+                help="CPU time attributed per thread",
+                thread=thread_name, mode="virtual",
+            )
+            self._cpu_virtual[thread_name] = counter
+        counter.value += seconds
+
+    def on_donation(self, thread_name: str) -> None:
+        counter = self._donations.get(thread_name)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_sched_donations_total",
+                help="Priority-inheritance donations received",
+                thread=thread_name,
+            )
+            self._donations[thread_name] = counter
+        counter.value += 1
+
+    def on_constraint(self, thread_name: str) -> None:
+        counter = self._constraints.get(thread_name)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_sched_constraint_dispatches_total",
+                help="Dispatches of explicitly constrained messages",
+                thread=thread_name,
+            )
+            self._constraints[thread_name] = counter
+        counter.value += 1
+
+    # ------------------------------------------------------------ reading
+
+    def cpu_seconds(self, mode: str = "virtual") -> dict[str, float]:
+        """Per-thread CPU attribution, for reports and tests."""
+        cache = self._cpu_virtual if mode == "virtual" else self._cpu_wall
+        return {name: counter.value for name, counter in cache.items()}
+
+    def dispatch_counts(self) -> dict[str, int]:
+        return {
+            name: int(counter.value)
+            for name, counter in self._dispatches.items()
+        }

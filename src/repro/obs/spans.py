@@ -1,0 +1,329 @@
+"""Per-item latency spans and the pipeline telemetry front-end.
+
+Span model
+----------
+A data item's journey decomposes into alternating *service* and *wait*
+segments: a pump's cycle moves it through a section (service), it parks in
+a buffer or netpipe receive queue (wait), a coroutine crossing hands it to
+another thread (round trip = queue wait + service there).  The middleware
+owns every one of those boundaries, so it can measure them all without the
+item carrying anything.
+
+The span context is therefore *positional*, not per-item: FIFO boundaries
+carry a parallel timestamp queue (enqueue time is popped with the item, the
+difference is the wait), and stage entry times live in the driver.  Each
+closed segment streams straight into a fixed log-bucket
+:class:`~repro.obs.metrics.Histogram` — **no allocation travels with the
+item**, which is what lets the instrumentation stay on under production
+load.  Only the flight recorder / trace exporters materialize individual
+events.
+
+Metric families published by :class:`Telemetry`:
+
+``repro_buffer_wait_seconds{component=}``
+    Enqueue-to-dequeue wait in each buffer and netpipe receive queue.
+``repro_stage_latency_seconds{stage=}``
+    Pump-cycle service time: one item moved through the pump's section.
+``repro_coroutine_roundtrip_seconds{component=}``
+    ip-push/ip-pull request-to-reply latency across a coroutine boundary.
+``repro_buffer_fill_fraction{component=}``, ``repro_component_items_total
+{component=,direction=}``, ``repro_component_drops_total{component=}``
+    Callback gauges mirroring the component stats dicts — the single
+    source :class:`~repro.feedback.sensors.MetricSensor` reads from.
+``repro_pipeline_*``
+    Engine/scheduler aggregates (context switches, messages, dead letters,
+    virtual time).
+
+Scheduler metrics come from :class:`~repro.obs.sched.SchedulerProbe`.
+
+Usage::
+
+    engine = Engine(pipe)
+    telemetry = Telemetry(recorder_capacity=4096).attach(engine)
+    engine.start(); engine.run()
+    print(telemetry.prometheus())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.sched import SchedulerProbe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+
+class Span:
+    """An explicit span for application code: measures one named region.
+
+    For the rare case where component code wants a custom span (a decode
+    phase, an I/O call), reusable and allocation-free after construction::
+
+        span = telemetry.span("decode")
+        with span:
+            ...
+
+    Durations stream into ``repro_span_seconds{span=}``.
+    """
+
+    __slots__ = ("name", "_now", "_hist", "_t0")
+
+    def __init__(self, name: str, now: Callable[[], float], hist: Histogram):
+        self.name = name
+        self._now = now
+        self._hist = hist
+        self._t0: float | None = None
+
+    def begin(self) -> "Span":
+        self._t0 = self._now()
+        return self
+
+    def end(self) -> float:
+        t0 = self._t0
+        if t0 is None:
+            raise RuntimeError(f"span {self.name!r} was not begun")
+        self._t0 = None
+        elapsed = self._now() - t0
+        self._hist.observe(elapsed)
+        return elapsed
+
+    def __enter__(self) -> "Span":
+        return self.begin()
+
+    def __exit__(self, *exc_info) -> None:
+        self.end()
+
+    @property
+    def histogram(self) -> Histogram:
+        return self._hist
+
+
+def _labels_dict(labels: tuple) -> dict[str, str]:
+    return dict(labels)
+
+
+class Telemetry:
+    """Wires the observability layer through a pipeline engine.
+
+    Everything is opt-in at attach time and *inert when absent*: an engine
+    without telemetry runs the exact same instruction stream it did before
+    this module existed (golden scheduler traces pin that bit-for-bit).
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to publish into (default: a fresh one).
+    scheduler_probe:
+        Install a :class:`SchedulerProbe` (run-queue wait, CPU attribution,
+        inheritance counters).
+    recorder_capacity:
+        When set, attach a :class:`FlightRecorder` ring of that many events
+        (kept even when full tracing is off).
+    buffer_waits / stage_latency / coroutine_latency:
+        Enable the corresponding span family.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        scheduler_probe: bool = True,
+        recorder_capacity: int | None = None,
+        buffer_waits: bool = True,
+        stage_latency: bool = True,
+        coroutine_latency: bool = True,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._want_probe = scheduler_probe
+        self._recorder_capacity = recorder_capacity
+        self._want_buffer_waits = buffer_waits
+        self._want_stage_latency = stage_latency
+        self._want_coroutine_latency = coroutine_latency
+
+        self.scheduler_probe: SchedulerProbe | None = None
+        self.recorder: FlightRecorder | None = None
+        self._engine: "Engine | None" = None
+        self._now: Callable[[], float] | None = None
+        self._coro_hists: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ attach
+
+    def attach(self, engine: "Engine") -> "Telemetry":
+        if self._engine is not None:
+            raise RuntimeError("telemetry is already attached")
+        engine.setup()
+        self._engine = engine
+        engine._telemetry = self
+        scheduler = engine.scheduler
+        # Bind the clock method itself: span timestamps are taken on every
+        # item movement, and Scheduler.now would add a frame per call.
+        self._now = scheduler.clock.now
+
+        if self._want_probe:
+            self.scheduler_probe = SchedulerProbe(self.registry)
+            self.scheduler_probe.install(scheduler)
+        if self._recorder_capacity is not None:
+            self.recorder = FlightRecorder(self._recorder_capacity)
+            self.recorder.attach(scheduler)
+
+        for component in engine.pipeline.components:
+            self._publish_component(component)
+        self._publish_engine(engine)
+
+        if self._want_stage_latency:
+            for driver in engine.pump_drivers:
+                driver._obs_cycle = self.registry.histogram(
+                    "repro_stage_latency_seconds",
+                    help="Pump-cycle service time per section",
+                    stage=driver.origin.name,
+                )
+                driver._obs_now = self._now
+        if self._want_coroutine_latency:
+            # Recompile the flow walkers so coroutine crossings bind their
+            # timed variants (zero cost stays zero when this is off: the
+            # untimed closures never branch on telemetry).
+            engine._compile_walkers()
+        return self
+
+    def _publish_component(self, component) -> None:
+        registry = self.registry
+        name = component.name
+        stats = component.stats
+        for direction in ("in", "out"):
+            registry.gauge(
+                "repro_component_items_total",
+                help="Items through each component (mirrors stats)",
+                fn=lambda s=stats, k=f"items_{direction}": s.get(k, 0),
+                component=name, direction=direction,
+            )
+        registry.gauge(
+            "repro_component_drops_total",
+            help="Declared drops per component",
+            fn=lambda s=stats: sum(
+                v for k, v in s.items()
+                if isinstance(v, int) and (k == "drops" or k.startswith("dropped"))
+            ),
+            component=name,
+        )
+        if hasattr(component, "fill_fraction"):
+            registry.gauge(
+                "repro_buffer_fill_fraction",
+                help="Buffer fill fraction (0..1)",
+                fn=lambda c=component: c.fill_fraction,
+                component=name,
+            )
+        if self._want_buffer_waits and hasattr(
+            component, "enable_wait_telemetry"
+        ):
+            component.enable_wait_telemetry(
+                self._now,
+                registry.histogram(
+                    "repro_buffer_wait_seconds",
+                    help="Enqueue-to-dequeue wait per boundary queue",
+                    component=name,
+                ),
+            )
+
+    def _publish_engine(self, engine: "Engine") -> None:
+        registry = self.registry
+        scheduler = engine.scheduler
+        registry.gauge(
+            "repro_pipeline_context_switches_total",
+            help="Scheduler context switches",
+            fn=lambda s=scheduler: s.context_switches,
+        )
+        registry.gauge(
+            "repro_pipeline_messages_delivered_total",
+            help="Messages delivered by the scheduler",
+            fn=lambda s=scheduler: s.messages_delivered,
+        )
+        registry.gauge(
+            "repro_pipeline_dead_letters",
+            help="Undeliverable messages currently retained",
+            fn=lambda s=scheduler: len(s.dead_letters),
+        )
+        registry.gauge(
+            "repro_pipeline_dead_letters_dropped_total",
+            help="Dead letters evicted past the retention bound",
+            fn=lambda s=scheduler: s.dead_letters_dropped,
+        )
+        registry.gauge(
+            "repro_pipeline_virtual_time_seconds",
+            help="Pipeline clock at sample time",
+            fn=scheduler.now,
+        )
+        registry.gauge(
+            "repro_pipeline_coroutine_switches_total",
+            help="Coroutine-boundary crossings",
+            fn=lambda e=engine: (
+                e._flush_switches(),
+                e.stats_counters["coroutine_switches"],
+            )[1],
+        )
+
+    # ------------------------------------------------------------ runtime
+
+    def coroutine_histogram(self, component) -> Histogram | None:
+        """Round-trip histogram for a coroutine component, or None when
+        coroutine spans are disabled (bound at walker-compile time)."""
+        if not self._want_coroutine_latency or self._now is None:
+            return None
+        hist = self._coro_hists.get(component.name)
+        if hist is None:
+            hist = self.registry.histogram(
+                "repro_coroutine_roundtrip_seconds",
+                help="ip-push/ip-pull request-to-reply latency",
+                component=component.name,
+            )
+            self._coro_hists[component.name] = hist
+        return hist
+
+    @property
+    def now(self) -> Callable[[], float]:
+        if self._now is None:
+            raise RuntimeError("telemetry is not attached")
+        return self._now
+
+    def span(self, name: str, **labels: Any) -> Span:
+        """A reusable explicit span recording into
+        ``repro_span_seconds{span=<name>}``."""
+        hist = self.registry.histogram(
+            "repro_span_seconds", help="Explicit application spans",
+            span=name, **labels,
+        )
+        return Span(name, self.now, hist)
+
+    # ------------------------------------------------------------ reading
+
+    def prometheus(self) -> str:
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self.registry)
+
+    #: Histogram family -> (stats key prefix, label key) for decorate().
+    _DECORATE = {
+        "repro_buffer_wait_seconds": ("wait", "component"),
+        "repro_stage_latency_seconds": ("service", "stage"),
+        "repro_coroutine_roundtrip_seconds": ("coro_rtt", "component"),
+    }
+
+    def decorate(self, stats) -> None:
+        """Fold latency aggregates into a :class:`PipelineStats` snapshot.
+
+        Adds float entries (``wait_p50/p95/p99``, ``service_*``,
+        ``coro_rtt_*``) to the per-component counter dicts, so
+        ``stats.summary()`` shows latency next to the item counts."""
+        for family, (prefix, label_key) in self._DECORATE.items():
+            for hist in self.registry.family(family):
+                if hist.count == 0:
+                    continue
+                target = _labels_dict(hist.labels).get(label_key)
+                if target is None:
+                    continue
+                counters = stats.components.setdefault(target, {})
+                counters[f"{prefix}_p50"] = hist.p50
+                counters[f"{prefix}_p95"] = hist.p95
+                counters[f"{prefix}_p99"] = hist.p99
+                counters[f"{prefix}_mean"] = hist.mean

@@ -75,6 +75,10 @@ class PumpDriver:
         self._origin_drain = self.origin.drain_cost
         self._max_items = getattr(self.origin, "max_items", None)
         self._cycle_constraint = self.data_constraint()
+        #: Stage-latency instrumentation, bound by Telemetry.attach; None
+        #: keeps the cycle path branch-predictable and allocation-free.
+        self._obs_cycle = None
+        self._obs_now = None
 
     # -- setup -------------------------------------------------------------
 
@@ -195,6 +199,9 @@ class PumpDriver:
         origin = self.origin
         pull = self._pull_walker
         push = self._push_walker
+        obs_cycle = self._obs_cycle
+        if obs_cycle is not None:
+            cycle_start = self._obs_now()
 
         if pull is not None:
             item = yield from pull()
@@ -230,6 +237,8 @@ class PumpDriver:
                     yield Work(cost)
 
             self.items_moved += 1
+            if obs_cycle is not None:
+                obs_cycle.observe(self._obs_now() - cycle_start)
             max_items = self._max_items
             if max_items is not None and self.items_moved >= max_items:
                 # A bounded origin ends the stream: tell downstream.
@@ -548,6 +557,7 @@ class Engine:
         scheduler: Scheduler | None = None,
         trace: bool = False,
         on_thread_error: str = "raise",
+        trace_limit: int | None = None,
     ):
         if not isinstance(pipe, Pipeline):
             raise RuntimeFault("Engine requires a composed Pipeline")
@@ -557,6 +567,7 @@ class Engine:
             clock=clock or VirtualClock(),
             trace=trace,
             on_thread_error=on_thread_error,
+            trace_limit=trace_limit,
         )
         self.events = EventService()
         self.plan: AllocationPlan | None = None
@@ -582,6 +593,9 @@ class Engine:
         self.network = None
         #: Attached services (feedback loops, sensors) stopped by stop().
         self._services: list[Any] = []
+        #: Observability front-end (repro.obs.Telemetry) when attached;
+        #: None keeps every hook in the runtime inert.
+        self._telemetry: Any = None
 
     def add_service(self, service: Any) -> None:
         """Register an auxiliary service whose ``stop()`` is called when the
@@ -931,6 +945,8 @@ class Engine:
             dead_letters=len(self.scheduler.dead_letters),
             dead_letters_dropped=self.scheduler.dead_letters_dropped,
         )
+        if self._telemetry is not None:
+            self._telemetry.decorate(snapshot)
         return snapshot
 
 

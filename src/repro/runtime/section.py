@@ -463,6 +463,10 @@ def _compile_coro_pull(ctx: ThreadCtx, component):
 
     The reply wait is ``ThreadCtx.receive_reply`` unrolled in place (one
     generator frame fewer per crossing), with the same event transparency.
+
+    When telemetry is attached at compile time, a *timed* variant is bound
+    instead, recording the request-to-reply round trip; the untimed
+    closure never branches on telemetry, so the cost when off is zero.
     """
     engine = ctx.engine
     target = engine.thread_of(component)
@@ -470,6 +474,7 @@ def _compile_coro_pull(ctx: ThreadCtx, component):
     thread = engine.scheduler.threads[sender]
     dispatch_event = ctx.dispatch_event_message
     counter = engine._switch_counter()
+    hist = _coro_histogram(engine, component)
 
     def coro_pull():
         message = thread._current_message
@@ -493,17 +498,42 @@ def _compile_coro_pull(ctx: ThreadCtx, component):
                 continue
             return reply.payload
 
-    return coro_pull
+    if hist is None:
+        return coro_pull
+
+    now = engine._telemetry.now
+
+    def coro_pull_timed():
+        start = now()
+        value = yield from coro_pull()
+        hist.observe(now() - start)
+        return value
+
+    return coro_pull_timed
+
+
+def _coro_histogram(engine, component):
+    """The round-trip histogram for a coroutine crossing, or None when
+    telemetry is absent (the common case: plain walkers get bound)."""
+    telemetry = engine._telemetry
+    if telemetry is None:
+        return None
+    return telemetry.coroutine_histogram(component)
 
 
 def _compile_coro_push(ctx: ThreadCtx, component):
-    """Bound ip-push round trip to a coroutine component's thread."""
+    """Bound ip-push round trip to a coroutine component's thread.
+
+    Like :func:`_compile_coro_pull`, binds a timed variant when telemetry
+    is attached at compile time.
+    """
     engine = ctx.engine
     target = engine.thread_of(component)
     sender = ctx.thread_name
     thread = engine.scheduler.threads[sender]
     dispatch_event = ctx.dispatch_event_message
     counter = engine._switch_counter()
+    hist = _coro_histogram(engine, component)
 
     def coro_push(item):
         message = thread._current_message
@@ -528,7 +558,17 @@ def _compile_coro_push(ctx: ThreadCtx, component):
                 continue
             return
 
-    return coro_push
+    if hist is None:
+        return coro_push
+
+    now = engine._telemetry.now
+
+    def coro_push_timed(item):
+        start = now()
+        yield from coro_push(item)
+        hist.observe(now() - start)
+
+    return coro_push_timed
 
 
 def compile_pull(ctx: ThreadCtx, target: FlowTarget):

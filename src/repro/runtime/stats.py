@@ -67,19 +67,28 @@ class PipelineStats:
         return self.retained.get(component_name, 0)
 
     def summary(self) -> str:
-        lines = [
+        header = (
             f"time={self.time:.6f}s threads={self.threads} "
             f"ctx-switches={self.context_switches} "
             f"coroutine-switches={self.coroutine_switches} "
             f"messages={self.messages_delivered}"
-        ]
+        )
+        if self.dead_letters or self.dead_letters_dropped:
+            header += (
+                f" dead-letters={self.dead_letters}"
+                f" dead-letters-dropped={self.dead_letters_dropped}"
+            )
+        lines = [header]
         for name, counters in sorted(self.components.items()):
             interesting = {
                 k: v
                 for k, v in counters.items()
-                if isinstance(v, int) and v
+                if (isinstance(v, int) and v) or isinstance(v, float)
             }
             if interesting:
-                pretty = " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+                pretty = " ".join(
+                    f"{k}={v}" if isinstance(v, int) else f"{k}={v:.6g}"
+                    for k, v in sorted(interesting.items())
+                )
                 lines.append(f"  {name}: {pretty}")
         return "\n".join(lines)

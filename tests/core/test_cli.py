@@ -55,6 +55,67 @@ def test_errors_reported_cleanly(capsys):
     assert "error:" in err
 
 
+def test_run_with_metrics_prints_prometheus(capsys):
+    code = main([
+        "run", "counting(limit=6) >> greedy_pump >> collect", "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "items_in=6" in out
+    assert "# TYPE repro_stage_latency_seconds histogram" in out
+    assert "repro_component_items_total" in out
+    # Telemetry decorates the stats summary with latency aggregates.
+    assert "service_p95=" in out
+
+
+def test_run_exports_trace_and_events(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    events_path = tmp_path / "events.jsonl"
+    code = main([
+        "run", "counting(limit=4) >> greedy_pump >> collect",
+        "--trace-out", str(trace_path), "--events-out", str(events_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace events" in out
+    document = json.loads(trace_path.read_text())
+    assert document["traceEvents"]
+    for event in document["traceEvents"]:
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+    lines = events_path.read_text().splitlines()
+    assert lines
+    assert {"ts", "kind"} <= set(json.loads(lines[0]))
+
+
+def test_timeline_command(capsys):
+    code = main([
+        "timeline", "counting(limit=5) >> greedy_pump >> collect",
+        "--width", "32",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "#" in out
+    assert "trace:" in out
+    assert "scheduled" in out
+
+
+def test_run_trace_limit_bounds_ring(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "run", "counting(limit=50) >> greedy_pump >> collect",
+        "--trace-out", str(trace_path), "--trace-limit", "10",
+    ])
+    assert code == 0
+    document = json.loads(trace_path.read_text())
+    # 10 retained events yield at most 10 slices/instants plus metadata.
+    real = [e for e in document["traceEvents"] if e["ph"] != "M"]
+    assert 0 < len(real) <= 10
+
+
 def test_description_from_file(tmp_path, capsys):
     spec = tmp_path / "player.ipc"
     spec.write_text("counting(limit=2) >> greedy_pump >> collect\n")

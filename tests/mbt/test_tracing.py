@@ -52,6 +52,20 @@ def test_timeline_renders_rows(traced_engine):
     assert "#" in pump_row
 
 
+def test_timeline_columns_attribute_to_exactly_one_thread(traced_engine):
+    # Regression: marking both endpoints of each inter-switch interval used
+    # to double-book the column a switch fell into.  Each column is one time
+    # slot, and exactly one thread holds the CPU at its start instant.
+    chart = timeline(traced_engine.scheduler, width=48)
+    rows = [line for line in chart.splitlines()[1:] if line]
+    label_width = max(line.index("  ") for line in rows)
+    grids = [line[label_width + 2:] for line in rows]
+    assert all(len(grid) == 48 for grid in grids)
+    for column in range(48):
+        marks = sum(grid[column] == "#" for grid in grids)
+        assert marks == 1, f"column {column} claimed by {marks} threads"
+
+
 def test_timeline_without_activity():
     from repro.mbt import Scheduler, VirtualClock
 

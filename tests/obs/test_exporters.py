@@ -1,0 +1,161 @@
+"""Exporters: Prometheus golden text, Chrome trace schema, JSONL."""
+
+import json
+
+from tests.integration.test_trace_stability import run_fig1
+
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    jsonl_events,
+    prometheus_text,
+)
+
+#: Keys the Chrome trace-event viewer requires on every event.
+CHROME_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+def _reference_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_sched_dispatches_total", help="Thread dispatches",
+        thread="pump:a",
+    ).inc(3)
+    registry.gauge(
+        "repro_buffer_fill_fraction", help="Buffer fill fraction (0..1)",
+        component="jitter",
+    ).set(0.5)
+    hist = registry.histogram(
+        "repro_buffer_wait_seconds", help="Waits", component="jitter"
+    )
+    hist.observe(0.004)
+    hist.observe(0.004)
+    hist.observe(0.012)
+    return registry
+
+
+PROMETHEUS_GOLDEN = """\
+# HELP repro_buffer_fill_fraction Buffer fill fraction (0..1)
+# TYPE repro_buffer_fill_fraction gauge
+repro_buffer_fill_fraction{component="jitter"} 0.5
+# HELP repro_buffer_wait_seconds Waits
+# TYPE repro_buffer_wait_seconds histogram
+repro_buffer_wait_seconds_bucket{component="jitter",le="0.0078125"} 2
+repro_buffer_wait_seconds_bucket{component="jitter",le="0.015625"} 3
+repro_buffer_wait_seconds_bucket{component="jitter",le="+Inf"} 3
+repro_buffer_wait_seconds_sum{component="jitter"} 0.02
+repro_buffer_wait_seconds_count{component="jitter"} 3
+# HELP repro_sched_dispatches_total Thread dispatches
+# TYPE repro_sched_dispatches_total counter
+repro_sched_dispatches_total{thread="pump:a"} 3
+"""
+
+
+class TestPrometheus:
+    def test_golden_exposition(self):
+        assert prometheus_text(_reference_registry()) == PROMETHEUS_GOLDEN
+
+    def test_deterministic_across_insertion_order(self):
+        a = _reference_registry()
+        b = MetricsRegistry()
+        hist = b.histogram(
+            "repro_buffer_wait_seconds", help="Waits", component="jitter"
+        )
+        for value in (0.012, 0.004, 0.004):
+            hist.observe(value)
+        b.gauge(
+            "repro_buffer_fill_fraction",
+            help="Buffer fill fraction (0..1)", component="jitter",
+        ).set(0.5)
+        b.counter(
+            "repro_sched_dispatches_total", help="Thread dispatches",
+            thread="pump:a",
+        ).inc(3)
+        assert prometheus_text(a) == prometheus_text(b)
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestChromeTrace:
+    def test_fig1_trace_validates_schema(self, tmp_path):
+        """Acceptance: the Figure-1 pipeline run exports a Chrome trace
+        whose every event carries the required keys."""
+        engine = run_fig1(frames=10)
+        path = tmp_path / "trace.json"
+        document = export_chrome_trace(engine.scheduler, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == document
+        events = document["traceEvents"]
+        assert events, "fig1 run produced no trace events"
+        for event in events:
+            assert CHROME_KEYS <= set(event), f"missing keys in {event}"
+        # One metadata (thread_name) event per thread track.
+        metadata = [e for e in events if e["ph"] == "M"]
+        tids = {e["tid"] for e in events}
+        assert {e["tid"] for e in metadata} == {
+            e["tid"] for e in events if e["ph"] != "M"
+        } == tids
+        # Complete slices cover the run; durations are non-negative µs.
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices
+        assert all(e["dur"] >= 0 for e in slices)
+        assert all(e["name"] == "run" for e in slices)
+
+    def test_slices_follow_switch_events(self):
+        trace = [
+            (0.0, "switch", None, "a"),
+            (1.0, "switch", "a", "b"),
+            (3.0, "switch", "b", "a"),
+        ]
+        document = chrome_trace(trace, end=4.0)
+        slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [(s["ts"], s["dur"]) for s in slices] == [
+            (0.0, 1e6), (1e6, 2e6), (3e6, 1e6),
+        ]
+        # a and b get distinct tracks; a's two slices share one.
+        assert slices[0]["tid"] == slices[2]["tid"] != slices[1]["tid"]
+
+    def test_instants_for_dispatch_and_block(self):
+        trace = [
+            (0.0, "switch", None, "a"),
+            (0.0, "dispatch", "a", "tick"),
+            (0.5, "block", "a", "receive"),
+        ]
+        names = {
+            e["name"]
+            for e in chrome_trace(trace, end=1.0)["traceEvents"]
+            if e["ph"] == "i"
+        }
+        assert names == {"dispatch tick", "block receive"}
+
+    def test_empty_trace(self):
+        document = chrome_trace([], end=0.0)
+        assert document["traceEvents"] == []
+
+
+class TestJsonl:
+    def test_round_trips_event_stream(self, tmp_path):
+        trace = [
+            (0.0, "switch", None, "a"),
+            (0.25, "deliver", "tick", "timer", "a"),
+        ]
+        path = tmp_path / "events.jsonl"
+        count = export_jsonl(trace, path)
+        assert count == 2
+        lines = path.read_text().splitlines()
+        first = json.loads(lines[0])
+        assert first == {"ts": 0.0, "kind": "switch", "args": [None, "a"]}
+        second = json.loads(lines[1])
+        assert second["kind"] == "deliver"
+        assert second["args"] == ["tick", "timer", "a"]
+
+    def test_non_json_details_are_repred(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        rows = list(jsonl_events([(0.0, "crash", Odd())]))
+        assert json.loads(rows[0])["args"] == ["<odd>"]
