@@ -1,0 +1,100 @@
+"""Batched data plane perf report (``BENCH_batch_dataplane.json``).
+
+Measures items/sec through Figure-9 config *a* and the section-4 MIDI
+mixer at ``batch_max`` 1, 8 and 32, and records the batch-32 speedup over
+the per-item baseline.  The per-item numbers double as the regression
+reference the CI benchmark job compares against
+``BENCH_sched_hotpath.json``.
+
+Run via::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_bench_batch_dataplane.py -s
+"""
+
+import json
+
+from benchmarks.conftest import (
+    REPO_ROOT,
+    _best_run_seconds,
+    make_fig9_pipeline,
+)
+
+BATCH_REPORT = REPO_ROOT / "BENCH_batch_dataplane.json"
+BATCH_SIZES = (1, 8, 32)
+
+
+def _fig9a_items_per_sec(batch_max, items=256, repeats=15):
+    from repro import Engine
+
+    def make():
+        pipe, _sink = make_fig9_pipeline("a", items)
+        return Engine(pipe, batch_max=batch_max).start()
+
+    return items / _best_run_seconds(make, repeats)
+
+
+def _midi_items_per_sec(batch_max, events=400, repeats=8):
+    from benchmarks.test_bench_sec4_midi_mixer import CHANNELS, build
+    from repro import Engine
+
+    def make():
+        pipe, _sink = build(False, events)
+        return Engine(pipe, batch_max=batch_max).start()
+
+    return (events * CHANNELS) / _best_run_seconds(make, repeats)
+
+
+def _assert_equivalent_output(items=64):
+    """The report is only meaningful if every batch size moves the same
+    stream; pin that before timing."""
+    from repro import Engine
+
+    reference = None
+    for batch_max in BATCH_SIZES:
+        pipe, sink = make_fig9_pipeline("a", items)
+        engine = Engine(pipe, batch_max=batch_max)
+        engine.start()
+        engine.run()
+        if reference is None:
+            reference = list(sink.items)
+        assert sink.items == reference, f"batch_max={batch_max} diverged"
+
+
+def write_batch_dataplane_report(path=None):
+    _assert_equivalent_output()
+    fig9 = {
+        bm: round(_fig9a_items_per_sec(bm), 1) for bm in BATCH_SIZES
+    }
+    midi = {
+        bm: round(_midi_items_per_sec(bm), 1) for bm in BATCH_SIZES
+    }
+    report = {
+        "fig9_a_items_per_sec": {str(bm): fig9[bm] for bm in BATCH_SIZES},
+        "midi_items_per_sec": {str(bm): midi[bm] for bm in BATCH_SIZES},
+        "fig9_a_speedup_b32": round(fig9[32] / fig9[1], 2),
+        "fig9_a_speedup_b8": round(fig9[8] / fig9[1], 2),
+        "midi_speedup_b32": round(midi[32] / midi[1], 2),
+        "config": {
+            "fig9_items": 256,
+            "midi_events_per_channel": 400,
+            "batch_sizes": list(BATCH_SIZES),
+            "clock": "virtual",
+        },
+    }
+    target = BATCH_REPORT if path is None else path
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_batch_dataplane_report():
+    report = write_batch_dataplane_report()
+    print("\n--- batched data plane report ---")
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    print(f"written to {BATCH_REPORT}")
+
+    # The tentpole target: >= 3x on fig9-a at batch_max=32.
+    assert report["fig9_a_speedup_b32"] >= 3.0
+    # Batching must never make the per-item path slower than ~the seed
+    # (the CI job enforces the precise bound against the hotpath report).
+    assert report["fig9_a_items_per_sec"]["1"] > 0

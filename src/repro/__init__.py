@@ -95,7 +95,13 @@ from repro.errors import (
     RuntimeFault,
     TypespecMismatch,
 )
-from repro.runtime import Engine, PipelineStats, run_pipeline
+from repro.runtime import (
+    BatchPolicy,
+    Engine,
+    PipelineStats,
+    attach_adaptive_batching,
+    run_pipeline,
+)
 
 __version__ = "0.1.0"
 
@@ -108,6 +114,7 @@ __all__ = [
     "ActiveSource",
     "ActivityRouter",
     "AllocationError",
+    "BatchPolicy",
     "Buffer",
     "CallbackSink",
     "CallbackSource",
@@ -163,6 +170,7 @@ __all__ = [
     "TypespecMismatch",
     "ZipBuffer",
     "allocate",
+    "attach_adaptive_batching",
     "connect",
     "is_eos",
     "is_nil",

@@ -56,6 +56,7 @@ def _run_engine(args: argparse.Namespace, trace: bool = False):
         backend=args.backend,
         trace=want_trace,
         trace_limit=getattr(args, "trace_limit", None),
+        batch_max=getattr(args, "batch_max", None),
     )
     telemetry = None
     if getattr(args, "metrics", False):
@@ -117,6 +118,9 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         default="generator")
     parser.add_argument("--trace-limit", type=int, default=None,
                         help="keep only the newest N trace events (ring)")
+    parser.add_argument("--batch-max", type=int, default=None,
+                        help="batched data plane: move up to N items per "
+                             "pump cycle (default 1 = per-item)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -168,6 +168,67 @@ class Buffer(Component):
             return OK, NIL
         return EMPTY, None
 
+    # -- batched non-blocking operations ----------------------------------
+    # Same contracts as try_push/try_pull, amortized: one call moves a run
+    # of items, stats still count individual items, and EOS/NIL keep their
+    # per-item placement (EOS only ever rides as the last element of a
+    # pulled run).
+
+    def try_push_many(self, items: list, port: str = "in") -> int:
+        """Accept a prefix of ``items``; returns how many were taken.
+
+        Under BLOCK the count can be short of ``len(items)`` when the
+        buffer fills; the dropping policies always take everything.  The
+        caller must not include EOS in ``items`` (EOS travels through the
+        per-item path so its single-delivery bookkeeping stays exact).
+        """
+        n = len(items)
+        free = self.capacity - len(self._items)
+        if n <= free:
+            self._items.extend(items)
+            if self._obs_now is not None:
+                now = self._obs_now()
+                ts = self._obs_ts
+                for _ in range(n):
+                    ts.append(now)
+            self.stats["items_in"] += n
+            if len(self._items) > self.stats["high_watermark"]:
+                self.stats["high_watermark"] = len(self._items)
+            return n
+        taken = 0
+        for item in items:
+            if self.try_push(item, port) == FULL:
+                break
+            taken += 1
+        return taken
+
+    def try_pull_many(self, n: int, port: str = "out") -> tuple[str, list]:
+        """Return ``(OK, run)`` of up to ``n`` items, with EOS at most once
+        as the final element; ``(OK, [])`` under the NIL policy when empty;
+        ``(EMPTY, [])`` under the BLOCK policy when empty."""
+        queued = len(self._items)
+        if queued:
+            k = queued if queued < n else n
+            items = self._items
+            run = [items.popleft() for _ in range(k)]
+            if self._obs_now is not None and self._obs_ts:
+                now = self._obs_now()
+                ts = self._obs_ts
+                observe = self._obs_wait.observe
+                for _ in range(min(k, len(ts))):
+                    observe(now - ts.popleft())
+            self.stats["items_out"] += k
+            if k < n and self._eos_pending:
+                self._eos_pending = False
+                run.append(EOS)
+            return OK, run
+        if self._eos_pending:
+            self._eos_pending = False
+            return OK, [EOS]
+        if self.on_empty is OnEmpty.NIL:
+            return OK, []
+        return EMPTY, []
+
     def clear(self) -> int:
         """Drop all buffered items (``flush`` event); returns count."""
         count = len(self._items)
@@ -253,3 +314,24 @@ class ZipBuffer(Component):
         if self.on_empty is OnEmpty.NIL:
             return OK, NIL
         return EMPTY, None
+
+    def try_push_many(self, items: list, port: str = "in0") -> int:
+        taken = 0
+        for item in items:
+            if self.try_push(item, port) == FULL:
+                break
+            taken += 1
+        return taken
+
+    def try_pull_many(self, n: int, port: str = "out") -> tuple[str, list]:
+        run: list = []
+        while len(run) < n:
+            status, value = self.try_pull(port)
+            if status == EMPTY:
+                return (OK, run) if run else (EMPTY, run)
+            if value is NIL:
+                break
+            run.append(value)
+            if is_eos(value):
+                break
+        return OK, run

@@ -117,7 +117,9 @@ class GreedyPump(Pump):
     It "does not limit its rate at all and relies on buffers to block the
     thread when a buffer is full or empty".  ``max_items`` optionally stops
     the pump after a fixed number of items (useful for batch workloads and
-    tests).
+    tests); ``batch_max`` optionally overrides the engine's batch policy
+    for this pump alone (see :mod:`repro.runtime.batching`) — it pins the
+    batch size, so an adaptive engine policy does not apply to this pump.
     """
 
     timing = "greedy"
@@ -128,9 +130,13 @@ class GreedyPump(Pump):
         priority: int = 0,
         max_items: int | None = None,
         reservation: float | None = None,
+        batch_max: int | None = None,
     ):
         super().__init__(name, priority=priority, reservation=reservation)
         self.max_items = max_items
+        if batch_max is not None and batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        self.batch_max = batch_max
 
 
 class FeedbackPump(Pump):

@@ -145,6 +145,18 @@ class FunctionComponent(_LinearComponent):
     def convert(self, item: Any) -> Any:
         raise NotImplementedError
 
+    def convert_many(self, items: list) -> list:
+        """Vectorized conversion used by the batched data plane.
+
+        Must behave exactly like ``[convert(x) for x in items]`` — one
+        output per input, in order — which is what this default does.
+        Override it only to amortize per-call overhead (e.g. one codec
+        invocation for a whole run); the 1:1 in-order contract is what
+        keeps batch runs per-item observable.
+        """
+        convert = self.convert
+        return [convert(item) for item in items]
+
 
 class ActiveComponent(_LinearComponent):
     """Component with a thread-like main function.

@@ -15,7 +15,7 @@ earlier deadline wins.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,11 +34,18 @@ class Constraint:
 
     priority: int = 0
     deadline: float | None = None
+    #: Cached sort key — computed once at construction; ``sort_key()`` runs
+    #: on every mailbox put and effective-priority check, and constraints
+    #: are immutable.
+    _key: tuple[float, float] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        deadline = self.deadline if self.deadline is not None else math.inf
+        object.__setattr__(self, "_key", (-self.priority, deadline))
 
     def sort_key(self) -> tuple[float, float]:
         """Key such that smaller sorts first for more-urgent constraints."""
-        deadline = self.deadline if self.deadline is not None else math.inf
-        return (-self.priority, deadline)
+        return self._key
 
     def is_more_urgent_than(self, other: "Constraint") -> bool:
         return self.sort_key() < other.sort_key()

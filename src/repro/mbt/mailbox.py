@@ -51,6 +51,22 @@ class Mailbox:
         if self._listener is not None:
             self._listener()
 
+    def put_many(self, messages: list[Message]) -> None:
+        """Enqueue a run of messages with ONE listener notification.
+
+        Ordering is identical to calling :meth:`put` per message (the seq
+        counter still advances one per message); only the change callback
+        — and hence the owner's reindexing work — is coalesced.
+        """
+        heap = self._heap
+        seq = self._seq
+        urgency = self._urgency
+        for message in messages:
+            prio, deadline = urgency(message)
+            heapq.heappush(heap, (prio, deadline, next(seq), message))
+        if messages and self._listener is not None:
+            self._listener()
+
     def peek(self) -> Message | None:
         return self._heap[0][3] if self._heap else None
 

@@ -175,6 +175,12 @@ class Scheduler:
         #: seq, thread] entries.  A tombstoned entry has thread slot None.
         self._ready_heap: list[list] = []
         self._ready_seq = itertools.count()
+        #: Tombstoned entries still sitting in the heap.  Lazy invalidation
+        #: only discards tombstones that reach the top, so key churn on
+        #: threads that rarely get picked (priority flapping under a
+        #: feedback controller) can grow the heap without bound; once
+        #: tombstones outnumber live entries 2:1 the heap is compacted.
+        self._ready_stale = 0
         #: The thread currently being dispatched (kept out of the heap).
         self._current: MThread | None = None
 
@@ -244,6 +250,18 @@ class Scheduler:
     def post(self, message: Message) -> None:
         """Inject a message from outside the scheduler (tests, devices)."""
         self._deliver(message)
+
+    def post_many(self, messages: Iterable[Message]) -> None:
+        """Inject a run of messages.
+
+        Delivery order, interception, and tracing are identical to calling
+        :meth:`post` once per message — this exists so batch producers
+        (e.g. a buffer gate waking a run of consumers) make one scheduler
+        call per run instead of one per message.
+        """
+        deliver = self._deliver
+        for message in messages:
+            deliver(message)
 
     def _deliver(self, message: Message) -> None:
         interceptor = self.delivery_interceptor
@@ -374,6 +392,13 @@ class Scheduler:
         if entry is not None:
             entry[5] = None
             thread._heap_entry = None
+            stale = self._ready_stale + 1
+            self._ready_stale = stale
+            # Lazy invalidation only pops tombstones that surface at the
+            # heap top; mid-heap ones from key churn on rarely-picked
+            # threads would otherwise accumulate without bound.
+            if stale > 64 and 3 * stale > 2 * len(self._ready_heap):
+                self._compact_ready_heap()
         if (
             thread is self._current
             or thread.terminated
@@ -394,6 +419,17 @@ class Scheduler:
         thread._heap_entry = entry
         heapq.heappush(self._ready_heap, entry)
 
+    def _compact_ready_heap(self) -> None:
+        """Rebuild the ready heap without tombstones.
+
+        The live entry *objects* are kept (``thread._heap_entry``
+        references stay valid); only the dead ones are dropped.
+        """
+        heap = [entry for entry in self._ready_heap if entry[5] is not None]
+        heapq.heapify(heap)
+        self._ready_heap = heap
+        self._ready_stale = 0
+
     def _pick_ready(self) -> MThread | None:
         if self.choice_hook is not None:
             return self._pick_ready_hooked()
@@ -402,6 +438,7 @@ class Scheduler:
             thread = heap[0][5]
             if thread is None:
                 heapq.heappop(heap)
+                self._ready_stale -= 1
                 continue
             return thread
         return None
@@ -440,6 +477,7 @@ class Scheduler:
             entry = heap[0]
             if entry[5] is None:
                 heapq.heappop(heap)
+                self._ready_stale -= 1
                 continue
             key = current.effective_sort_key()
             return entry[0] < key[0] or (
@@ -452,6 +490,7 @@ class Scheduler:
         while heap:
             if heap[0][5] is None:
                 heapq.heappop(heap)
+                self._ready_stale -= 1
                 continue
             return True  # the dispatched thread is never in the heap
         return False
@@ -506,6 +545,7 @@ class Scheduler:
         if entry is not None:
             entry[5] = None
             thread._heap_entry = None
+            self._ready_stale += 1
         try:
             # Inlined _dispatch (one frame fewer on the per-message path).
             if thread._pending_work > 0.0:

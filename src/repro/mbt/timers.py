@@ -18,6 +18,8 @@ from repro.mbt.scheduler import Scheduler, TimerHandle
 class TimerService:
     """Posts messages to threads at requested times."""
 
+    __slots__ = ("_scheduler",)
+
     def __init__(self, scheduler: Scheduler):
         self._scheduler = scheduler
 
@@ -58,6 +60,21 @@ class PeriodicTimer:
     period", so long runs do not accumulate drift even when tick processing
     is delayed.
     """
+
+    __slots__ = (
+        "_scheduler",
+        "_target",
+        "_period",
+        "_kind",
+        "_payload",
+        "_constraint",
+        "_constraint_fn",
+        "_start_at",
+        "_next_time",
+        "_handle",
+        "_running",
+        "ticks",
+    )
 
     def __init__(
         self,

@@ -175,6 +175,45 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
     raise MarshalError(f"unknown wire tag {tag}")
 
 
+def encode_batch(chunks: list[bytes]) -> bytes:
+    """Coalesce already-encoded items into one frame payload.
+
+    Frame format: ``!I`` chunk count, then per chunk a ``!I`` length
+    prefix followed by the chunk bytes.  Used by the batched data plane's
+    netpipe coalescing (one frame per sender flush instead of one message
+    per item); :func:`decode_batch` unfragments exactly.
+    """
+    out = bytearray(struct.pack("!I", len(chunks)))
+    for chunk in chunks:
+        out += struct.pack("!I", len(chunk))
+        out += chunk
+    return bytes(out)
+
+
+def decode_batch(data: bytes) -> list[bytes]:
+    """Split a frame payload back into its encoded items."""
+    if len(data) < 4:
+        raise MarshalError("truncated frame header")
+    (count,) = struct.unpack_from("!I", data, 0)
+    offset = 4
+    chunks: list[bytes] = []
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise MarshalError("truncated frame chunk header")
+        (length,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        end = offset + length
+        if end > len(data):
+            raise MarshalError("truncated frame chunk")
+        chunks.append(bytes(data[offset:end]))
+        offset = end
+    if offset != len(data):
+        raise MarshalError(
+            f"trailing garbage: consumed {offset} of {len(data)} bytes"
+        )
+    return chunks
+
+
 class Codec:
     """Object-style facade over the module-level codec functions."""
 
@@ -200,6 +239,13 @@ class MarshalFilter(FunctionComponent):
             self.charge(self._cost_per_kb * len(data) / 1024.0)
         return data
 
+    def convert_many(self, items: list) -> list:
+        out = [encode_item(item) for item in items]
+        if self._cost_per_kb:
+            total = sum(len(data) for data in out)
+            self.charge(self._cost_per_kb * total / 1024.0)
+        return out
+
     def transform_typespec(self, spec: Typespec) -> Typespec:
         # Remember the item-level properties so the peer unmarshaller can
         # restore them; the wire flow itself is plain bytes.
@@ -219,6 +265,12 @@ class UnmarshalFilter(FunctionComponent):
         if self._cost_per_kb:
             self.charge(self._cost_per_kb * len(data) / 1024.0)
         return decode_item(data)
+
+    def convert_many(self, chunks: list) -> list:
+        if self._cost_per_kb:
+            total = sum(len(data) for data in chunks)
+            self.charge(self._cost_per_kb * total / 1024.0)
+        return [decode_item(data) for data in chunks]
 
     def transform_typespec(self, spec: Typespec) -> Typespec:
         carried = spec["carried"]

@@ -24,6 +24,7 @@ from repro.core.polarity import Mode
 from repro.core.styles import Style
 from repro.core.typespec import Typespec, props
 from repro.errors import MarshalError, RemoteError
+from repro.net.marshal import decode_batch, encode_batch
 from repro.net.network import Network
 from repro.net.protocols import DatagramProtocol, Protocol, StreamProtocol
 
@@ -41,6 +42,7 @@ class NetpipeSender(Component):
         self.add_in_port(mode=Mode.PUSH)
         self.protocol = protocol
         self.location = protocol.src
+        self.stats.update(frames_out=0)
 
     def push(self, item: Any) -> None:
         if not isinstance(item, bytes):
@@ -49,6 +51,22 @@ class NetpipeSender(Component):
                 f"upstream (got {type(item).__name__})"
             )
         self.protocol.send(item)
+
+    def push_many(self, items: list) -> None:
+        """Batched entry used by the batched data plane: coalesce the run
+        into ONE frame message (one encode_batch + one protocol send)
+        instead of one message per item.  The receiving netpipe (or the
+        protocol itself, for frame-unaware receivers) unfragments the
+        frame back to individual items, so the item stream is unchanged.
+        """
+        for item in items:
+            if not isinstance(item, bytes):
+                raise MarshalError(
+                    f"{self.name!r} needs a byte flow; put a MarshalFilter "
+                    f"upstream (got {type(item).__name__})"
+                )
+        self.stats["frames_out"] += 1
+        self.protocol.send_frame(encode_batch(items))
 
     def on_eos(self) -> None:
         """Called by the runtime when EOS reaches this sink: forward the
@@ -82,7 +100,10 @@ class NetpipeReceiver(Component):
         self._queue: deque[bytes] = deque()
         self._eos_pending = False
         self._gate = None
-        protocol.on_deliver(self._deliver, self._deliver_eos)
+        self.stats.update(frames_in=0)
+        protocol.on_deliver(
+            self._deliver, self._deliver_eos, self._deliver_frame
+        )
 
     # -- typespec -----------------------------------------------------------
 
@@ -136,6 +157,32 @@ class NetpipeReceiver(Component):
             return OK, NIL
         return EMPTY, None
 
+    def try_pull_many(self, n: int, port: str = "out") -> tuple[str, list]:
+        """Batched pull with the Buffer run conventions (data first, EOS
+        at most once and last, [] for nil-now)."""
+        queued = len(self._queue)
+        if queued:
+            k = queued if queued < n else n
+            queue = self._queue
+            run = [queue.popleft() for _ in range(k)]
+            if self._obs_now is not None and self._obs_ts:
+                now = self._obs_now()
+                ts = self._obs_ts
+                observe = self._obs_wait.observe
+                for _ in range(min(k, len(ts))):
+                    observe(now - ts.popleft())
+            self.stats["items_out"] += k
+            if k < n and self._eos_pending:
+                self._eos_pending = False
+                run.append(EOS)
+            return OK, run
+        if self._eos_pending:
+            self._eos_pending = False
+            return OK, [EOS]
+        if self.on_empty is OnEmpty.NIL:
+            return OK, []
+        return EMPTY, []
+
     # -- network side ----------------------------------------------------------
 
     def on_attach(self, engine) -> None:
@@ -146,6 +193,21 @@ class NetpipeReceiver(Component):
         if self._obs_now is not None:
             self._obs_ts.append(self._obs_now())
         self.stats["items_in"] += 1
+        if self._gate is not None:
+            self._gate.external_wake_pullers()
+
+    def _deliver_frame(self, payload: bytes) -> None:
+        """A coalesced frame arrived: unfragment back to items, one wake
+        for the whole run."""
+        chunks = decode_batch(payload)
+        self._queue.extend(chunks)
+        if self._obs_now is not None:
+            now = self._obs_now()
+            ts = self._obs_ts
+            for _ in chunks:
+                ts.append(now)
+        self.stats["items_in"] += len(chunks)
+        self.stats["frames_in"] += 1
         if self._gate is not None:
             self._gate.external_wake_pullers()
 

@@ -23,6 +23,10 @@ from repro.net.packets import Packet
 DeliverFn = Callable[[bytes], None]
 #: Payload marker for end-of-stream control packets.
 EOS_KIND = "eos"
+#: Payload marker for coalesced batch frames (see marshal.encode_batch):
+#: one message carrying several encoded items, unfragmented back to items
+#: on the receiving side.
+FRAME_KIND = "frame"
 
 
 #: Default maximum payload bytes per packet (Ethernet-ish).
@@ -49,6 +53,7 @@ class Protocol:
         self.mtu = int(mtu)
         self._deliver: DeliverFn | None = None
         self._deliver_eos: Callable[[], None] | None = None
+        self._deliver_frame: DeliverFn | None = None
         self.stats = {"sent": 0, "delivered": 0, "retransmits": 0}
         # Receiver-side loss estimation window (packet-sequence gaps).
         self._rx_highest = -1
@@ -99,13 +104,23 @@ class Protocol:
             return 0.0
         return max(0.0, 1.0 - received / expected)
 
-    def on_deliver(self, deliver: DeliverFn, deliver_eos: Callable[[], None]) -> None:
+    def on_deliver(
+        self,
+        deliver: DeliverFn,
+        deliver_eos: Callable[[], None],
+        deliver_frame: DeliverFn | None = None,
+    ) -> None:
         self._deliver = deliver
         self._deliver_eos = deliver_eos
+        self._deliver_frame = deliver_frame
 
     # -- sender side -------------------------------------------------------
 
     def send(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def send_frame(self, payload: bytes) -> None:
+        """Send a coalesced batch frame (marshal.encode_batch payload)."""
         raise NotImplementedError
 
     def send_eos(self) -> None:
@@ -116,6 +131,21 @@ class Protocol:
     def _on_packet(self, packet: Packet) -> None:
         raise NotImplementedError
 
+    def _emit_message(self, message: bytes, kind: str) -> None:
+        """Deliver a fully reassembled message to the bound receiver,
+        unfragmenting batch frames when the receiver has no frame path."""
+        self.stats["delivered"] += 1
+        if kind == FRAME_KIND:
+            if self._deliver_frame is not None:
+                self._deliver_frame(message)
+                return
+            from repro.net.marshal import decode_batch
+
+            for chunk in decode_batch(message):
+                self._deliver(chunk)
+            return
+        self._deliver(message)
+
     def _hand_over(self, packet: Packet) -> None:
         if packet.kind == EOS_KIND:
             if self._deliver_eos is None:
@@ -124,8 +154,7 @@ class Protocol:
             return
         if self._deliver is None:
             raise RemoteError(f"flow {self.flow!r} has no receiver bound")
-        self.stats["delivered"] += 1
-        self._deliver(packet.payload)
+        self._emit_message(packet.payload, packet.kind)
 
 
 class DatagramProtocol(Protocol):
@@ -142,12 +171,15 @@ class DatagramProtocol(Protocol):
         self._frag_counts: dict[int, int] = {}
         self._delivered_msgs: set[int] = set()
 
-    def send(self, payload: bytes) -> None:
-        for packet in self._fragments(payload):
+    def send(self, payload: bytes, kind: str = "data") -> None:
+        for packet in self._fragments(payload, kind):
             packet.seq = self._next_seq
             self._next_seq += 1
             self.stats["sent"] += 1
             self.network.transmit(self.src, self.dst, packet)
+
+    def send_frame(self, payload: bytes) -> None:
+        self.send(payload, FRAME_KIND)
 
     def send_eos(self) -> None:
         # Best-effort EOS: send a few copies so a lossy link still ends the
@@ -169,8 +201,7 @@ class DatagramProtocol(Protocol):
         self._observe_rx(packet.seq)
         message = self._reassemble(packet)
         if message is not None:
-            self.stats["delivered"] += 1
-            self._deliver(message)
+            self._emit_message(message, packet.kind)
 
     def _reassemble(self, packet: Packet) -> bytes | None:
         msg = packet.msg_seq
@@ -229,11 +260,14 @@ class StreamProtocol(Protocol):
 
     # -- sender -------------------------------------------------------------
 
-    def send(self, payload: bytes) -> None:
-        for packet in self._fragments(payload):
+    def send(self, payload: bytes, kind: str = "data") -> None:
+        for packet in self._fragments(payload, kind):
             packet.seq = self._next_seq
             self._next_seq += 1
             self._transmit_tracked(packet, retries=0)
+
+    def send_frame(self, payload: bytes) -> None:
+        self.send(payload, FRAME_KIND)
 
     def send_eos(self) -> None:
         packet = Packet(
@@ -288,8 +322,7 @@ class StreamProtocol(Protocol):
             self._hand_over(packet)
             return
         if packet.frag_count == 1:
-            self.stats["delivered"] += 1
-            self._deliver(packet.payload)
+            self._emit_message(packet.payload, packet.kind)
             return
         # Fragments of one message arrive consecutively (in-order stream).
         if self._partial_msg != packet.msg_seq:
@@ -300,8 +333,7 @@ class StreamProtocol(Protocol):
             message = b"".join(self._partial)
             self._partial = []
             self._partial_msg = None
-            self.stats["delivered"] += 1
-            self._deliver(message)
+            self._emit_message(message, packet.kind)
 
     def _send_ack(self) -> None:
         ack = Packet(

@@ -13,7 +13,14 @@ computes its :class:`~repro.core.glue.AllocationPlan`, and realizes it on a
 * event delivery with synchronized-object semantics (section 3.2).
 """
 
+from repro.runtime.batching import BatchPolicy, attach_adaptive_batching
 from repro.runtime.engine import Engine, run_pipeline
 from repro.runtime.stats import PipelineStats
 
-__all__ = ["Engine", "PipelineStats", "run_pipeline"]
+__all__ = [
+    "BatchPolicy",
+    "Engine",
+    "PipelineStats",
+    "attach_adaptive_batching",
+    "run_pipeline",
+]

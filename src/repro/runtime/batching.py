@@ -1,0 +1,137 @@
+"""Batch policy: transmission granularity for the batched data plane.
+
+The paper's pumps, buffers and netpipes move exactly one item per
+push/pull; in this reproduction every item therefore pays a full walker
+call, a gate wake and a scheduler message.  The batched data plane
+amortizes those fixed costs by moving *runs* of items through the same
+interfaces in one traversal, while keeping the per-item stream semantics
+observable (Philipps & Rumpe's batch refinement of pipe-and-filter
+architectures; policy/implementation separation after Walker et al.).
+
+:class:`BatchPolicy` is the single knob.  It lives at the engine level —
+batch size is a *transmission* policy, not a property of any component —
+and is consulted:
+
+* at compile time (``Engine._compile_walkers``): ``batch_max == 1``
+  (the default) compiles exactly the per-item walkers, reproducing
+  today's golden scheduler traces bit-for-bit; ``batch_max > 1``
+  additionally compiles batch walkers for greedy pump sections;
+* at run time (every pump cycle): the pump reads ``policy.current`` to
+  size the next batch, so an adaptive controller can grow/shrink the
+  batch without recompiling anything.
+
+Semantics guarantees (see docs/RUNTIME.md §11):
+
+* the sink observes the identical item sequence at every batch size;
+* EOS and NIL never travel inside a batch's data run — EOS rides as an
+  explicit tail element and fans out through the per-item walkers;
+* stats count individual items; only the *placement* of simulated CPU
+  cost coarsens (one ``Work`` per batch instead of one per item).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RuntimeFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+
+class BatchPolicy:
+    """How many items a pump may move per scheduler message.
+
+    Parameters
+    ----------
+    batch_max:
+        Upper bound on the batch size.  ``1`` (default) disables the
+        batched data plane entirely.
+    min_batch:
+        Lower bound the adaptive controller may shrink to.
+    adaptive:
+        When True, ``current`` starts at ``min_batch`` and is expected to
+        be steered by a feedback loop (see :func:`attach_adaptive_batching`);
+        when False, ``current`` starts — and stays — at ``batch_max``.
+    """
+
+    __slots__ = ("batch_max", "min_batch", "adaptive", "current")
+
+    def __init__(
+        self,
+        batch_max: int = 1,
+        min_batch: int = 1,
+        adaptive: bool = False,
+    ):
+        if batch_max < 1:
+            raise RuntimeFault("batch_max must be at least 1")
+        if not 1 <= min_batch <= batch_max:
+            raise RuntimeFault("need 1 <= min_batch <= batch_max")
+        self.batch_max = int(batch_max)
+        self.min_batch = int(min_batch)
+        self.adaptive = bool(adaptive)
+        #: The batch size pumps use on their next cycle.  Mutable at run
+        #: time; always within [min_batch, batch_max].
+        self.current = self.min_batch if adaptive else self.batch_max
+
+    def clamp(self, size: int) -> int:
+        if size < self.min_batch:
+            return self.min_batch
+        if size > self.batch_max:
+            return self.batch_max
+        return size
+
+    def set_current(self, size: int) -> int:
+        """Clamp ``size`` into range and make it the live batch size."""
+        self.current = self.clamp(int(size))
+        return self.current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchPolicy(batch_max={self.batch_max}, "
+            f"min_batch={self.min_batch}, adaptive={self.adaptive}, "
+            f"current={self.current})"
+        )
+
+
+def attach_adaptive_batching(
+    engine: "Engine",
+    buffer,
+    period: float = 0.05,
+    alpha: float = 0.4,
+):
+    """Steer ``engine.batch_policy.current`` from a buffer's fill fraction.
+
+    A full buffer means the pipeline is throughput-bound and large batches
+    amortize best; a draining buffer means latency matters more than
+    amortization, so the batch shrinks back toward ``min_batch``.  The
+    mapping is linear in the (EWMA-smoothed) fill fraction::
+
+        current = min_batch + fill * (batch_max - min_batch)
+
+    Built entirely from the existing feedback stack — BufferFillSensor →
+    EwmaSmoother → BatchSizeActuator on a FeedbackLoop — and attached to
+    the engine (so ``engine.stop()`` stops the loop).  Returns the loop.
+    """
+    from repro.feedback.actuators import BatchSizeActuator
+    from repro.feedback.controllers import EwmaSmoother
+    from repro.feedback.loop import FeedbackLoop
+    from repro.feedback.sensors import BufferFillSensor
+
+    policy = engine.batch_policy
+    if policy.batch_max <= 1:
+        raise RuntimeFault(
+            "adaptive batching needs an engine batch_policy with "
+            "batch_max > 1"
+        )
+    policy.adaptive = True
+    policy.set_current(policy.min_batch)
+    loop = FeedbackLoop(
+        sensor=BufferFillSensor(buffer),
+        controller=EwmaSmoother(alpha=alpha),
+        actuator=BatchSizeActuator(policy),
+        period=period,
+        name="adaptive-batching",
+    )
+    loop.attach(engine)
+    return loop

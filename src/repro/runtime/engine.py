@@ -36,13 +36,16 @@ from repro.mbt.message import Message
 from repro.mbt.scheduler import Scheduler
 from repro.mbt.syscalls import CONTINUE, Send, Work
 from repro.mbt.timers import PeriodicTimer
+from repro.runtime.batching import BatchPolicy
 from repro.runtime.bridge import PendingEmits, ReplayIntake, build_suspendable
 from repro.runtime.section import (
     BufferGate,
     SegmentLock,
     ThreadCtx,
     compile_pull,
+    compile_pull_many,
     compile_push,
+    compile_push_many,
     maybe_work,
     pull_from,
     push_to,
@@ -72,6 +75,17 @@ class PumpDriver:
         #: Compiled flow walkers (bound by Engine._compile_walkers).
         self._pull_walker = None
         self._push_walker = None
+        #: Batched data plane (bound only when the batch policy or a
+        #: per-pump override allows batch_max > 1 on a greedy pump).
+        self._pull_many = None
+        self._push_many = None
+        self._pump_batch_max: int | None = None
+        self._cycle = self._run_cycle
+        self.batches = 0
+        self.batched_items = 0
+        self.flush_full = 0
+        self.flush_dry = 0
+        self.flush_eos = 0
         self._origin_drain = self.origin.drain_cost
         self._max_items = getattr(self.origin, "max_items", None)
         self._cycle_constraint = self.data_constraint()
@@ -135,6 +149,29 @@ class PumpDriver:
         )
         self._max_items = getattr(self.origin, "max_items", None)
         self._cycle_constraint = self.data_constraint()
+        # Batch mode is a compile-time decision: only greedy pumps whose
+        # effective batch limit exceeds 1 get the batched cycle and the
+        # batch walkers.  At the default batch_max=1 nothing here runs,
+        # so the per-item scheduler traces are reproduced bit-for-bit.
+        policy = self.engine.batch_policy
+        self._pump_batch_max = getattr(self.origin, "batch_max", None)
+        limit = self._pump_batch_max or policy.batch_max
+        if limit > 1 and self.timing == "greedy":
+            self._pull_many = (
+                compile_pull_many(self.ctx, section.pull_root)
+                if section.pull_root is not None
+                else None
+            )
+            self._push_many = (
+                compile_push_many(self.ctx, section.push_root)
+                if section.push_root is not None
+                else None
+            )
+            self._cycle = self._run_cycle_batch
+        else:
+            self._pull_many = None
+            self._push_many = None
+            self._cycle = self._run_cycle
 
     @property
     def timing(self) -> str:
@@ -159,11 +196,11 @@ class PumpDriver:
         if kind == "cycle":
             self.waiting_for_data = False
             if self.origin.running and not self.finished:
-                return self._run_cycle(repost=True)
+                return self._cycle(repost=True)
             self._loop_active = False
         elif kind == "tick":
             if self.origin.running and not self.finished:
-                return self._run_cycle(repost=False)
+                return self._cycle(repost=False)
         elif kind == "event":
             event, target_name = message.payload
             self.engine.dispatch_event_local(
@@ -263,6 +300,119 @@ class PumpDriver:
                 )
                 # The loop is provably still active here (running, not
                 # finished, not waiting, timerless): sync would be a no-op.
+                return CONTINUE
+            self._loop_active = False
+        self.sync_running_state()
+        return CONTINUE
+
+    def _run_cycle_batch(self, repost: bool):
+        """One batched pump cycle: drain up to the policy's batch size per
+        scheduler message (tentpole of the batched data plane).
+
+        The run conventions mirror the per-item cycle exactly — an empty
+        run is a nil cycle, a trailing EOS ends the stream through the
+        per-item push walker (so fan-out and sink bookkeeping stay exact),
+        and stats count individual items.  The post-cycle trailer is
+        identical to :meth:`_run_cycle`.
+        """
+        self.cycles += 1
+        origin = self.origin
+        pull_many = self._pull_many
+        push_many = self._push_many
+        obs_cycle = self._obs_cycle
+        if obs_cycle is not None:
+            cycle_start = self._obs_now()
+
+        n = self._pump_batch_max
+        if n is None:
+            n = self.engine.batch_policy.current
+        if n < 1:
+            n = 1
+        max_items = self._max_items
+        if max_items is not None:
+            headroom = max_items - self.items_moved
+            if headroom < n:
+                n = headroom if headroom > 0 else 1
+
+        if pull_many is not None:
+            run = yield from pull_many(n)
+        else:
+            # Active source: drain up to n generated items.
+            run = []
+            generate = origin.generate
+            while len(run) < n:
+                item = generate()
+                if item is NIL:
+                    break
+                run.append(item)
+                if item is EOS:
+                    break
+            cost = self._origin_drain()
+            if cost > 0.0:
+                yield Work(cost)
+
+        eos = bool(run) and run[-1] is EOS
+        data = run[:-1] if eos else run
+
+        if data:
+            count = len(data)
+            if pull_many is not None:
+                origin.stats["items_in"] += count
+            else:
+                origin.stats["items_out"] += count
+
+            if push_many is not None:
+                yield from push_many(data)
+                if pull_many is not None:
+                    origin.stats["items_out"] += count
+            else:
+                # Active sink: consume in place.
+                consume = origin.consume
+                for item in data:
+                    consume(item)
+                cost = self._origin_drain()
+                if cost > 0.0:
+                    yield Work(cost)
+
+            self.items_moved += count
+            self.batches += 1
+            self.batched_items += count
+            if eos:
+                self.flush_eos += 1
+            elif count >= n:
+                self.flush_full += 1
+            else:
+                self.flush_dry += 1
+            if obs_cycle is not None:
+                obs_cycle.observe(self._obs_now() - cycle_start)
+        elif not eos:
+            self.nil_cycles += 1
+            if self.timer is None:
+                self._enter_waiting()
+
+        if eos or (
+            max_items is not None and self.items_moved >= max_items
+        ):
+            push = self._push_walker
+            if push is not None:
+                yield from push(EOS)
+            self.finish()
+
+        if repost:
+            if (
+                origin.running
+                and not self.finished
+                and not self.waiting_for_data
+            ):
+                name = self.thread_name
+                yield Send(
+                    Message(
+                        kind="cycle",
+                        sender=name,
+                        target=name,
+                        constraint=self._cycle_constraint,
+                    )
+                )
                 return CONTINUE
             self._loop_active = False
         self.sync_running_state()
@@ -391,6 +541,10 @@ class CoroutineDriver:
             return self._handle_push(message)
         if kind == "ip-pull" and self.mode is Mode.PULL:
             return self._handle_pull(message)
+        if kind == "ip-push-batch" and self.mode is Mode.PUSH:
+            return self._handle_push_batch(message)
+        if kind == "ip-pull-batch" and self.mode is Mode.PULL:
+            return self._handle_pull_batch(message)
         raise RuntimeFault(
             f"coroutine {self.component.name!r} ({self.mode} mode) got "
             f"unexpected message {message.kind!r}"
@@ -430,6 +584,32 @@ class CoroutineDriver:
             self.component.stats["items_in"] += 1
         request = self._resume(item)
         yield from self._drive_to_pull(request)
+        yield Reply(message, "ok")
+
+    def _handle_push_batch(self, message: Message):
+        """One ip-push-batch crossing: feed every item of the run to the
+        body, one resume/drive round per item (the payload is pure data —
+        EOS always arrives through the per-item ``ip-push`` path)."""
+        from repro.mbt.syscalls import Reply
+
+        if self.finished:
+            yield Reply(message, "ok")
+            return
+        if not self.started:
+            request = self._start()
+            request = yield from self._drive_to_pull(request)
+            if self.finished:
+                yield Reply(message, "ok")
+                return
+
+        active = self.component.style is Style.ACTIVE
+        for item in message.payload:
+            if self.finished:
+                break
+            if active:
+                self.component.stats["items_in"] += 1
+            request = self._resume(item)
+            yield from self._drive_to_pull(request)
         yield Reply(message, "ok")
 
     def _drive_to_pull(self, request):
@@ -474,7 +654,34 @@ class CoroutineDriver:
         if self.finished:
             yield Reply(message, EOS)
             return
+        value = yield from self._next_output()
+        yield Reply(message, value)
 
+    def _handle_pull_batch(self, message: Message):
+        """One ip-pull-batch crossing: collect up to n outputs before
+        replying, with the same run conventions as the batch walkers
+        (data first, at most one trailing EOS, [] means no data now)."""
+        from repro.mbt.syscalls import Reply
+
+        n = message.payload
+        run = []
+        while len(run) < n:
+            if self.finished:
+                run.append(EOS)
+                break
+            value = yield from self._next_output()
+            if value is NIL:
+                break
+            run.append(value)
+            if value is EOS:
+                break
+        yield Reply(message, run)
+
+    def _next_output(self):
+        """Advance the body to its next output item; returns the item, or
+        EOS when the body finishes (setting ``finished``).  Exactly the
+        serving loop ``_handle_pull`` always ran, factored out so the
+        batch handler can call it repeatedly per crossing."""
         if not self.started:
             request = self._start()
         elif self._at_push:
@@ -490,14 +697,12 @@ class CoroutineDriver:
                 yield Work(cost)
             if isinstance(request, Done):
                 self.finished = True
-                yield Reply(message, EOS)
-                return
+                return EOS
             if isinstance(request, PushOp):
                 self._at_push = True
                 if self.component.style is Style.ACTIVE:
                     self.component.stats["items_out"] += 1
-                yield Reply(message, request.item)
-                return
+                return request.item
             if isinstance(request, PullOp):
                 walker = pull_walkers.get(request.port)
                 if walker is None:
@@ -547,6 +752,11 @@ class Engine:
         calls, the paper-faithful programming model).
     clock:
         Scheduler clock; defaults to a virtual (discrete-event) clock.
+    batch_policy / batch_max:
+        The batched data plane's transmission policy (see
+        :mod:`repro.runtime.batching`).  ``batch_max`` is shorthand for
+        ``BatchPolicy(batch_max=...)``; the default of 1 keeps the
+        per-item data plane (and its golden traces) exactly as-is.
     """
 
     def __init__(
@@ -558,9 +768,16 @@ class Engine:
         trace: bool = False,
         on_thread_error: str = "raise",
         trace_limit: int | None = None,
+        batch_policy: BatchPolicy | None = None,
+        batch_max: int | None = None,
     ):
         if not isinstance(pipe, Pipeline):
             raise RuntimeFault("Engine requires a composed Pipeline")
+        if batch_policy is not None and batch_max is not None:
+            raise RuntimeFault("pass batch_policy or batch_max, not both")
+        if batch_policy is None:
+            batch_policy = BatchPolicy(batch_max=batch_max or 1)
+        self.batch_policy = batch_policy
         self.pipeline = pipe
         self.backend = backend
         self.scheduler = scheduler or Scheduler(
@@ -928,10 +1145,22 @@ class Engine:
             level = getattr(component, "fill_level", None)
             if isinstance(level, int) and level > 0:
                 retained[component.name] = level
+        batching = {}
+        for driver in self.pump_drivers:
+            if driver.batches:
+                batching[driver.origin.name] = {
+                    "batches": driver.batches,
+                    "items": driver.batched_items,
+                    "avg_batch": driver.batched_items / driver.batches,
+                    "flush_full": driver.flush_full,
+                    "flush_dry": driver.flush_dry,
+                    "flush_eos": driver.flush_eos,
+                }
         snapshot = PipelineStats(
             components={
                 c.name: dict(c.stats) for c in self.pipeline.components
             },
+            batching=batching,
             retained=retained,
             context_switches=self.scheduler.context_switches,
             coroutine_switches=self.stats_counters["coroutine_switches"],

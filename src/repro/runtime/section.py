@@ -41,7 +41,7 @@ from repro.core.events import EOS, is_eos
 from repro.core.glue import BoundaryRef, FlowNode
 from repro.core.items import NIL, is_nil
 from repro.core.styles import EndOfStream, Style
-from repro.components.buffers import EMPTY, FULL
+from repro.components.buffers import EMPTY, FULL, OK
 from repro.errors import RuntimeFault
 from repro.mbt.message import Message
 from repro.mbt.syscalls import Receive, Send, Work
@@ -164,6 +164,10 @@ class BufferGate:
         self._pull_waiters: deque[str] = deque()
         #: Greedy pumps waiting for data (poked on every successful put).
         self.idle_pumps: set[str] = set()
+        # Batched entry points, resolved once: buffers without the _many
+        # protocol fall back to a per-item loop inside put_many/get_many.
+        self._try_push_many = getattr(buffer, "try_push_many", None)
+        self._try_pull_many = getattr(buffer, "try_pull_many", None)
 
     def put(self, ctx: ThreadCtx, item: Any, port: str = "in"):
         while True:
@@ -180,6 +184,63 @@ class BufferGate:
             if status != EMPTY:
                 yield from self._wake_pushers(ctx)
                 return item
+            self._pull_waiters.append(ctx.thread_name)
+            yield from ctx.receive_data({"buffer-item"})
+
+    def put_many(self, ctx: ThreadCtx, items: list, port: str = "in"):
+        """Deliver a run of data items; one puller wake per successful
+        sub-run instead of one per item.  ``items`` must not contain EOS
+        (EOS travels through the per-item path)."""
+        buffer = self.buffer
+        push_many = self._try_push_many
+        total = len(items)
+        start = 0
+        while True:
+            rest = items[start:] if start else items
+            if push_many is not None:
+                taken = push_many(rest, port)
+            else:
+                taken = 0
+                for item in rest:
+                    if buffer.try_push(item, port) == FULL:
+                        break
+                    taken += 1
+            if taken:
+                yield from self._wake_pullers(ctx)
+                start += taken
+                if start >= total:
+                    return
+                continue
+            self._push_waiters.append(ctx.thread_name)
+            yield from ctx.receive_data({"buffer-space"})
+
+    def get_many(self, ctx: ThreadCtx, n: int, port: str = "out"):
+        """Obtain a run of up to ``n`` items; one pusher wake per run.
+
+        Returns a list: data items, optionally ending in EOS.  An empty
+        list means "no data now" under a NIL policy (the per-item NIL)."""
+        buffer = self.buffer
+        pull_many = self._try_pull_many
+        while True:
+            if pull_many is not None:
+                status, run = pull_many(n, port)
+            else:
+                run = []
+                status = EMPTY
+                while len(run) < n:
+                    status, value = buffer.try_pull(port)
+                    if status == EMPTY:
+                        break
+                    if value is NIL:
+                        break
+                    run.append(value)
+                    if value is EOS:
+                        break
+                if run or status != EMPTY:
+                    status = OK
+            if status != EMPTY:
+                yield from self._wake_pushers(ctx)
+                return run
             self._pull_waiters.append(ctx.thread_name)
             yield from ctx.receive_data({"buffer-item"})
 
@@ -201,18 +262,22 @@ class BufferGate:
 
     def external_wake_pullers(self) -> None:
         """Wake waiting pullers from outside any driver context (used by
-        netpipe receivers when a packet arrives from the network)."""
-        scheduler = self.engine.scheduler
+        netpipe receivers when a packet — or a coalesced frame — arrives
+        from the network).  All wakes for one arrival go through a single
+        multi-deliver post."""
+        wakes = []
         if self._pull_waiters:
             waiter = self._pull_waiters.popleft()
-            scheduler.post(
+            wakes.append(
                 Message(kind="buffer-item", target=waiter, sender="network")
             )
         for pump_thread in list(self.idle_pumps):
             self.idle_pumps.discard(pump_thread)
-            scheduler.post(
+            wakes.append(
                 Message(kind="cycle", target=pump_thread, sender="network")
             )
+        if wakes:
+            self.engine.scheduler.post_many(wakes)
 
 
 # ---------------------------------------------------------------------------
@@ -825,3 +890,500 @@ def _compile_push_node(ctx: ThreadCtx, node: FlowNode):
             yield from branch_pushes[port](out)
 
     return consumer_push
+
+
+# ---------------------------------------------------------------------------
+# Batch walkers
+# ---------------------------------------------------------------------------
+#
+# The batched twins of compile_pull/compile_push: ``pull_many(n)`` yields a
+# run of up to n items (data first; the run may end in EOS; an empty run
+# means "no data now"), ``push_many(items)`` delivers a non-empty pure-data
+# run.  Compiled only when the engine's batch policy allows batch_max > 1;
+# at batch_max == 1 the per-item walkers run unchanged, so golden traces
+# are untouched.
+#
+# Two tiers, chosen per subtree at compile time:
+#
+# * **plain subtrees** — no gates, locks or coroutine boundaries anywhere
+#   below: the whole hop chain collapses to plain Python callables invoked
+#   in a tight loop, with every component's simulated CPU cost coalesced
+#   into ONE ``Work`` syscall per run.  Per-item stats stay exact; only
+#   the *placement* of Work coarsens (documented in docs/RUNTIME.md §11),
+#   and never at batch_max == 1 because these walkers are not compiled
+#   then.
+# * **everything else** — gates move runs via put_many/get_many (one wake
+#   per run), coroutine boundaries cross once per run via
+#   ip-push-batch/ip-pull-batch, and any structure without a batch-aware
+#   form falls back to looping the compiled per-item walker.
+
+
+def _bind_drain_fn(component):
+    """Zero-arg "take accumulated cost" closure for batch walkers."""
+    stock, drain = _bind_drain(component)
+    if not stock:
+        return drain
+
+    def take():
+        cost = component._cost_accumulator
+        if cost:
+            component._cost_accumulator = 0.0
+        return cost
+
+    return take
+
+
+def _convert_many_fn(component):
+    """The component's vectorized convert, or a per-item fallback.
+
+    ``convert_many`` must stay 1:1 in-order (FunctionComponent's default
+    guarantees it); stats are charged by the caller per item.
+    """
+    convert_many = getattr(component, "convert_many", None)
+    if convert_many is not None:
+        return convert_many
+    convert = component.convert
+    return lambda items: [convert(item) for item in items]
+
+
+def _compile_pull_plain(ctx: ThreadCtx, target: FlowTarget):
+    """Compile ``target`` into ``(fn, drains)`` of plain callables when the
+    whole subtree has no gate, lock or coroutine boundary — else None.
+
+    ``fn()`` returns one item (or NIL/EOS) without suspending; ``drains``
+    are the per-component cost takers the batch loop sums into one Work.
+    """
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        if engine.gate_for(component) is not None:
+            return None
+        serve = _bind_serve_pull(component, target.port.name)
+        return serve, [_bind_drain_fn(component)]
+
+    component = target.component
+    if engine.is_coroutine(component) or engine.lock_for(component) is not None:
+        return None
+
+    if component.style is Style.FUNCTION:
+        inner = _compile_pull_plain(ctx, target.branches["in"])
+        if inner is None:
+            return None
+        inner_fn, drains = inner
+        convert = component.convert
+        stats = component.stats
+
+        def function_plain():
+            item = inner_fn()
+            if item is EOS or item is NIL:
+                return item
+            stats["items_in"] += 1
+            result = convert(item)
+            stats["items_out"] += 1
+            return result
+
+        return function_plain, drains + [_bind_drain_fn(component)]
+
+    # Producer style under deterministic replay.  A pull() that needs k
+    # inputs is re-run from the top after every refill, so fetching one
+    # upstream item per NeedMoreInput costs k+1 attempts per output item.
+    # The batch walker instead *predicts demand*: it remembers how many
+    # items each port consumed on the last successful pull and refills up
+    # to that count in one go, cutting the attempts to ~2.  Over-fetched
+    # items simply stay in the replay intake buffers (the same place the
+    # per-item walker parks partial reads), and the refill loop stops at
+    # EOS/NIL, so the item stream and the quiescent flow accounting are
+    # identical to the per-item walker at every batch size.
+    branch_fns = {}
+    drains = [_bind_drain_fn(component)]
+    for port, child in target.branches.items():
+        sub = _compile_pull_plain(ctx, child)
+        if sub is None:
+            return None
+        branch_fns[port] = sub[0]
+        drains.extend(sub[1])
+    replay = engine.replay_for(component)
+    serve = _bind_serve_pull(component, target.entry_port)
+    begin, feed, commit = replay.begin, replay.feed, replay.commit
+    buffers = replay.buffers
+    read_counts = replay._read
+    demand = {port: 1 for port in branch_fns}
+
+    if len(branch_fns) == 1:
+        # Single-input producer (the common case): port/buffer/fetch are
+        # fixed, and the predicted demand is refilled *before* the first
+        # serve() attempt, so a steady-state pull succeeds on attempt one
+        # instead of paying a probe run + NeedMoreInput per item.
+        (only_port,) = branch_fns
+        fetch = branch_fns[only_port]
+        buffer = buffers[only_port]
+        ports_at_eos = replay.eos
+        want_cell = [1]
+
+        def refill():
+            upstream = fetch()
+            if upstream is NIL:
+                return False
+            feed(only_port, upstream)
+            want = want_cell[0]
+            while upstream is not EOS and len(buffer) < want:
+                upstream = fetch()
+                if upstream is NIL:
+                    break
+                feed(only_port, upstream)
+            return True
+
+        def single_producer_plain():
+            if len(buffer) < want_cell[0] and only_port not in ports_at_eos:
+                refill()
+            while True:
+                begin()
+                try:
+                    result = serve()
+                except NeedMoreInput:
+                    if not refill():
+                        return NIL  # prefetch is preserved for the retry
+                    continue
+                except EndOfStream:
+                    return EOS
+                consumed = read_counts[only_port]
+                if consumed > want_cell[0]:
+                    want_cell[0] = consumed
+                commit()
+                return result
+
+        return single_producer_plain, drains
+
+    def producer_plain():
+        while True:
+            begin()
+            try:
+                result = serve()
+            except NeedMoreInput as need:
+                port = need.port
+                fetch = branch_fns[port]
+                upstream = fetch()
+                if upstream is NIL:
+                    return NIL  # cannot complete now; prefetch is preserved
+                feed(port, upstream)
+                buffer = buffers[port]
+                want = demand[port]
+                while upstream is not EOS and len(buffer) < want:
+                    upstream = fetch()
+                    if upstream is NIL:
+                        break
+                    feed(port, upstream)
+                continue
+            except EndOfStream:
+                return EOS
+            for port, count in read_counts.items():
+                if count > demand[port]:
+                    demand[port] = count
+            commit()
+            return result
+
+    return producer_plain, drains
+
+
+def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
+    """Compile ``target`` into a batch pull walker ``(n) -> generator``
+    returning a run of up to ``n`` items.
+
+    Run conventions: data items first, in stream order; the run may end in
+    EOS (at most once, always last); ``[]`` means "no data now" (the batch
+    NIL).  Running ``pull_many(n)`` observes the same per-item stats as
+    ``n`` per-item pulls.
+    """
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        if gate is not None:
+            get_many = gate.get_many
+            port = target.port.name
+
+            def gate_pull_many(n):
+                return get_many(ctx, n, port)
+
+            return gate_pull_many
+
+    plain = _compile_pull_plain(ctx, target)
+    if plain is not None:
+        fn, drains = plain
+
+        def plain_pull_many(n):
+            run = []
+            while len(run) < n:
+                item = fn()
+                if item is NIL:
+                    break
+                run.append(item)
+                if item is EOS:
+                    break
+            total = 0.0
+            for take in drains:
+                total += take()
+            if total > 0.0:
+                yield Work(total)
+            return run
+
+        return plain_pull_many
+
+    if isinstance(target, FlowNode) and engine.lock_for(target.component) is None:
+        component = target.component
+        if engine.is_coroutine(component):
+            return _compile_coro_pull_many(ctx, component)
+        if component.style is Style.FUNCTION:
+            inner_many = compile_pull_many(ctx, target.branches["in"])
+            convert_many = _convert_many_fn(component)
+            stats = component.stats
+            take_cost = _bind_drain_fn(component)
+
+            def function_pull_many(n):
+                run = yield from inner_many(n)
+                if not run:
+                    return run
+                eos = run[-1] is EOS
+                data = run[:-1] if eos else run
+                if data:
+                    stats["items_in"] += len(data)
+                    results = convert_many(data)
+                    stats["items_out"] += len(results)
+                    cost = take_cost()
+                    if cost > 0.0:
+                        yield Work(cost)
+                else:
+                    results = []
+                if eos:
+                    results.append(EOS)
+                return results
+
+            return function_pull_many
+
+    # Generic fallback: loop the compiled per-item walker (locks, deep
+    # producers over gates, mixed structures).  Still one scheduler
+    # message per run at the pump level.
+    item_pull = compile_pull(ctx, target)
+
+    def generic_pull_many(n):
+        run = []
+        while len(run) < n:
+            item = yield from item_pull()
+            if item is NIL:
+                break
+            run.append(item)
+            if item is EOS:
+                break
+        return run
+
+    return generic_pull_many
+
+
+def _compile_coro_pull_many(ctx: ThreadCtx, component):
+    """Bound ip-pull-batch round trip: one crossing per run."""
+    engine = ctx.engine
+    target = engine.thread_of(component)
+    sender = ctx.thread_name
+    thread = engine.scheduler.threads[sender]
+    dispatch_event = ctx.dispatch_event_message
+    counter = engine._switch_counter()
+
+    def coro_pull_many(n):
+        message = thread._current_message
+        request = Message(
+            kind="ip-pull-batch",
+            payload=n,
+            sender=sender,
+            target=target,
+            constraint=message.constraint if message is not None else None,
+            needs_reply=True,
+        )
+        counter[0] += 1
+        yield Send(request)
+        rid = request.msg_id
+        while True:
+            reply = yield Receive(
+                match=lambda m, _rid=rid: m.reply_to == _rid
+                or m.kind == "event"
+            )
+            if reply.kind == "event":
+                dispatch_event(reply)
+                continue
+            return reply.payload
+
+    return coro_pull_many
+
+
+def _compile_coro_push_many(ctx: ThreadCtx, component):
+    """Bound ip-push-batch round trip: one crossing per run."""
+    engine = ctx.engine
+    target = engine.thread_of(component)
+    sender = ctx.thread_name
+    thread = engine.scheduler.threads[sender]
+    dispatch_event = ctx.dispatch_event_message
+    counter = engine._switch_counter()
+
+    def coro_push_many(items):
+        message = thread._current_message
+        request = Message(
+            kind="ip-push-batch",
+            payload=items,
+            sender=sender,
+            target=target,
+            constraint=message.constraint if message is not None else None,
+            needs_reply=True,
+        )
+        counter[0] += 1
+        yield Send(request)
+        rid = request.msg_id
+        while True:
+            reply = yield Receive(
+                match=lambda m, _rid=rid: m.reply_to == _rid
+                or m.kind == "event"
+            )
+            if reply.kind == "event":
+                dispatch_event(reply)
+                continue
+            return
+
+    return coro_push_many
+
+
+def compile_push_many(ctx: ThreadCtx, target: FlowTarget):
+    """Compile ``target`` into a batch push walker ``(items) -> generator``
+    delivering a non-empty pure-data run (the pump strips EOS and routes it
+    through the per-item walker so fan-out/sink bookkeeping stays exact).
+    """
+    engine = ctx.engine
+    if isinstance(target, BoundaryRef):
+        component = target.component
+        gate = engine.gate_for(component)
+        port = target.port.name
+        if gate is not None:
+            put_many = gate.put_many
+
+            def gate_push_many(items):
+                return put_many(ctx, items, port)
+
+            return gate_push_many
+
+        take_cost = _bind_drain_fn(component)
+        push_many_impl = getattr(component, "push_many", None)
+        if push_many_impl is not None:
+            # Coalescing sink (NetpipeSender): one frame per run.
+            stats = component.stats
+
+            def frame_sink_push_many(items):
+                stats["items_in"] += len(items)
+                push_many_impl(items)
+                cost = take_cost()
+                if cost > 0.0:
+                    yield Work(cost)
+
+            return frame_sink_push_many
+
+        receive = _bind_receive_push(component, port)
+
+        def sink_push_many(items):
+            for item in items:
+                receive(item)
+            cost = take_cost()
+            if cost > 0.0:
+                yield Work(cost)
+
+        return sink_push_many
+
+    node_many = _compile_push_node_many(ctx, target)
+    lock = engine.lock_for(target.component)
+    if lock is None:
+        return node_many
+    acquire, release = lock.acquire, lock.release
+    thread_name = ctx.thread_name
+
+    def locked_push_many(items):
+        # One acquire/release per run; same uncontended fast path as the
+        # per-item locked_push.
+        holder = lock.holder
+        if holder == thread_name:
+            yield from node_many(items)
+            return
+        if holder is None:
+            lock.holder = thread_name
+        else:
+            yield from acquire(ctx)
+        try:
+            yield from node_many(items)
+        finally:
+            if lock._waiters:
+                yield from release(ctx)
+            else:
+                lock.holder = None
+
+    return locked_push_many
+
+
+def _compile_push_node_many(ctx: ThreadCtx, node: FlowNode):
+    engine = ctx.engine
+    component = node.component
+
+    if engine.is_coroutine(component):
+        return _compile_coro_push_many(ctx, component)
+
+    if component.style is Style.FUNCTION:
+        out_many = compile_push_many(ctx, node.branches["out"])
+        convert_many = _convert_many_fn(component)
+        stats = component.stats
+        take_cost = _bind_drain_fn(component)
+
+        def function_push_many(items):
+            stats["items_in"] += len(items)
+            results = convert_many(items)
+            stats["items_out"] += len(results)
+            cost = take_cost()
+            if cost > 0.0:
+                yield Work(cost)
+            yield from out_many(results)
+
+        return function_push_many
+
+    if len(node.branches) == 1:
+        # Consumer with one out-branch: run user code for the whole batch,
+        # then move the collected emissions downstream as one run.
+        ((out_port, child),) = node.branches.items()
+        child_many = compile_push_many(ctx, child)
+        child_item = compile_push(ctx, child)
+        receive = _bind_receive_push(component, node.entry_port)
+        queue = engine.pending_for(component).queue
+        take_cost = _bind_drain_fn(component)
+
+        def consumer_push_many(items):
+            outs = []
+            for item in items:
+                receive(item)
+                while queue:
+                    _, out = queue.popleft()
+                    outs.append(out)
+            cost = take_cost()
+            if cost > 0.0:
+                yield Work(cost)
+            if not outs:
+                return
+            for out in outs:
+                if out is EOS or out is NIL:
+                    # Control values among emissions: keep the per-item
+                    # path so EOS fan-out bookkeeping stays exact.
+                    for each in outs:
+                        yield from child_item(each)
+                    return
+            yield from child_many(outs)
+
+        return consumer_push_many
+
+    # Multi-branch consumers/tees: per-item fallback over this node.
+    item_push = _compile_push_node(ctx, node)
+
+    def generic_push_many(items):
+        for item in items:
+            yield from item_push(item)
+
+    return generic_push_many

@@ -22,6 +22,11 @@ class PipelineStats:
     cycles: dict[str, int] = field(default_factory=dict)
     #: Cycles that found no data (nil policy upstream), per origin.
     nil_cycles: dict[str, int] = field(default_factory=dict)
+    #: Batched-data-plane counters per origin (only origins that moved at
+    #: least one batch appear): batches, items, avg_batch and the flush
+    #: reasons (full = hit the batch size, dry = upstream ran dry, eos =
+    #: the run ended the stream).
+    batching: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: Items still held inside stateful components (buffer fill levels,
     #: netpipe receive queues) at snapshot — the flow-invariant checker
     #: needs these to account for in-flight items.
@@ -91,4 +96,12 @@ class PipelineStats:
                     for k, v in sorted(interesting.items())
                 )
                 lines.append(f"  {name}: {pretty}")
+        for name, counters in sorted(self.batching.items()):
+            lines.append(
+                f"  batch {name}: avg={counters['avg_batch']:.2f} "
+                f"batches={counters['batches']} "
+                f"full={counters['flush_full']} "
+                f"dry={counters['flush_dry']} "
+                f"eos={counters['flush_eos']}"
+            )
         return "\n".join(lines)

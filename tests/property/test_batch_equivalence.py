@@ -1,0 +1,38 @@
+"""Property: batching is unobservable at the sink.
+
+For random pipelines (same generator as test_random_pipelines) and random
+``batch_max`` in {1, 2, 7, 32}, the sink must deliver exactly the per-item
+reference sequence and the flow-conservation invariants must hold — the
+batched data plane is a pure transmission optimization.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine
+from repro.check import assert_flow
+from tests.property.test_random_pipelines import build, pipeline_specs
+
+
+@given(pipeline_specs, st.sampled_from([1, 2, 7, 32]))
+@settings(max_examples=30, deadline=None)
+def test_batched_runs_deliver_reference_results(spec, batch_max):
+    section_specs, items = spec
+    pipe, sink, offset, _ = build(spec, None)
+    engine = Engine(pipe, batch_max=batch_max)
+    engine.start()
+    engine.run(max_steps=200_000)
+    assert sink.items == [item + offset for item in items]
+    assert_flow(engine)
+
+
+@given(pipeline_specs)
+@settings(max_examples=10, deadline=None)
+def test_batch_sizes_agree_with_each_other(spec):
+    results = []
+    for batch_max in (1, 7, 32):
+        pipe, sink, _, _ = build(spec, None)
+        engine = Engine(pipe, batch_max=batch_max)
+        engine.start()
+        engine.run(max_steps=200_000)
+        results.append(list(sink.items))
+    assert results[0] == results[1] == results[2]
