@@ -12,7 +12,14 @@ mis-trimmed to 28.5 Hz instead of 30 Hz — a 5% drift that would
 desynchronize A/V by three seconds per minute.  A feedback loop measures
 the playhead skew (video position vs audio position) and trims the video
 pump's rate.
+
+Pass ``--payloads`` to move real payload bytes (decoded video frames and
+PCM audio blocks — see ``docs/MEDIA.md``) instead of metadata-only items;
+an :class:`~repro.media.AudioMixer` then applies a gain stage to the
+actual samples on the audio path.
 """
+
+import sys
 
 from repro import Buffer, Engine, FeedbackPump, GreedyPump, pipeline
 from repro.core.composition import Pipeline
@@ -24,6 +31,7 @@ from repro.feedback import (
 )
 from repro.media import (
     AudioDevice,
+    AudioMixer,
     AudioSource,
     MpegDecoder,
     MpegFileSource,
@@ -35,9 +43,10 @@ FPS = 30.0
 AUDIO_HZ = 50.0  # 20 ms blocks
 
 
-def build(with_sync: bool):
+def build(with_sync: bool, payloads: bool = False):
     # Video path: file -> decoder -> buffer -> (drifting) pump -> display.
-    video_source = MpegFileSource("movie.mpg", frames=int(SECONDS * FPS) + 60)
+    video_source = MpegFileSource("movie.mpg", frames=int(SECONDS * FPS) + 60,
+                                  payloads=payloads)
     decoder = MpegDecoder(share_references=False)
     feeder = GreedyPump()
     jitter_buffer = Buffer(capacity=8)
@@ -49,9 +58,15 @@ def build(with_sync: bool):
 
     # Audio path: its own clock, the sync master.
     audio_source = AudioSource(blocks=int(SECONDS * AUDIO_HZ) + 100,
-                               block_duration=1.0 / AUDIO_HZ)
+                               block_duration=1.0 / AUDIO_HZ,
+                               payloads=payloads)
     audio_device = AudioDevice(rate_hz=AUDIO_HZ, priority=8)
-    audio = pipeline(audio_source, audio_device)
+    if payloads:
+        # A real gain stage over the PCM samples (-6 dB ~= 1/2).
+        audio = pipeline(audio_source, AudioMixer(gain_num=1, gain_den=2),
+                         audio_device)
+    else:
+        audio = pipeline(audio_source, audio_device)
 
     engine = Engine(Pipeline(video.components + audio.components))
 
@@ -82,13 +97,17 @@ def build(with_sync: bool):
 
 
 def main() -> None:
-    print(f"playing {SECONDS}s of A/V; video crystal drifts at 28.5 Hz "
-          f"instead of {FPS:.0f} Hz\n")
+    payloads = "--payloads" in sys.argv[1:]
+    mode = " (real payloads, mixed audio)" if payloads else ""
+    print(f"playing {SECONDS}s of A/V{mode}; video crystal drifts at "
+          f"28.5 Hz instead of {FPS:.0f} Hz\n")
     for label, with_sync in (("free-running", False),
                              ("feedback-synced", True)):
-        skew, display, audio, loop = build(with_sync)
+        skew, display, audio, loop = build(with_sync, payloads=payloads)
+        extra = (f", {audio.stats['bytes_in'] / 1e6:.1f} MB audio"
+                 if payloads else "")
         print(f"{label:16}: video={display.stats['displayed']} frames, "
-              f"audio={len(audio.consumed)} blocks, "
+              f"audio={len(audio.consumed)} blocks{extra}, "
               f"final A/V skew={skew * 1000:+.0f} ms")
         if loop is not None:
             print("  rate corrections (t, skew, commanded rate):")

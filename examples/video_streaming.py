@@ -17,7 +17,13 @@ Two runs over the same undersized link:
   priority filter, which sheds B frames (then P) *before* the bottleneck —
   "This lets us control which data is dropped rather than incurring
   arbitrary dropping in the network."
+
+Pass ``--payloads`` to stream real payload bytes (see ``docs/MEDIA.md``)
+instead of metadata-only frames; the payload-weighted variant of this
+pipeline is also the ``benchmarks/test_bench_media_plane.py`` benchmark.
 """
+
+import sys
 
 from repro import Buffer, ClockedPump, Engine, GreedyPump, Pipeline, connect
 from repro.core.typespec import Typespec
@@ -41,7 +47,7 @@ FPS = 30.0
 BANDWIDTH = 600_000  # bits/s; the stream nominally needs ~1 Mbit/s
 
 
-def run(with_feedback: bool, seed: int = 5):
+def run(with_feedback: bool, seed: int = 5, payloads: bool = False):
     scheduler = Scheduler(clock=VirtualClock())
     network = Network(scheduler, seed=seed)
     network.add_link(
@@ -52,7 +58,9 @@ def run(with_feedback: bool, seed: int = 5):
     producer = Node("producer", network)
     consumer = Node("consumer", network)
 
-    source = producer.place(MpegFileSource("movie.mpg", frames=FRAMES))
+    source = producer.place(
+        MpegFileSource("movie.mpg", frames=FRAMES, payloads=payloads)
+    )
     pump1 = ClockedPump(FPS)
     drop_filter = PriorityDropFilter()
     producer_side = source >> pump1 >> drop_filter
@@ -97,6 +105,7 @@ def run(with_feedback: bool, seed: int = 5):
         kinds[frame.kind] = kinds.get(frame.kind, 0) + 1
     return {
         "displayed": display.stats["displayed"],
+        "payload_bytes": display.stats["bytes_in"],
         "kinds": kinds,
         "undecodable": decoder.stats["skipped_undecodable"],
         "filter_drops": drop_filter.stats["dropped_B"]
@@ -108,11 +117,13 @@ def run(with_feedback: bool, seed: int = 5):
 
 
 def main() -> None:
-    print(f"streaming {FRAMES} frames at {FPS:.0f} fps over a "
+    payloads = "--payloads" in sys.argv[1:]
+    mode = "real payload bytes" if payloads else "metadata-only frames"
+    print(f"streaming {FRAMES} frames at {FPS:.0f} fps ({mode}) over a "
           f"{BANDWIDTH / 1e6:.1f} Mbit/s link (stream needs ~1 Mbit/s)\n")
 
-    baseline = run(with_feedback=False)
-    adaptive = run(with_feedback=True)
+    baseline = run(with_feedback=False, payloads=payloads)
+    adaptive = run(with_feedback=True, payloads=payloads)
 
     header = (f"{'':22} {'displayed':>9} {'undecodable':>11} "
               f"{'filter drops':>12} {'net drops':>9} {'jitter':>9}")
@@ -125,6 +136,9 @@ def main() -> None:
               f"{r['jitter_ms']:>7.1f}ms")
 
     print()
+    if payloads:
+        print(f"payload delivered to the display with feedback: "
+              f"{adaptive['payload_bytes'] / 1e6:.1f} MB")
     print("frame kinds reaching the display with feedback:",
           adaptive["kinds"])
     print("drop-level trajectory (t, measured loss, level):")

@@ -15,23 +15,36 @@ devices are substituted by behaviour-preserving models:
 * :mod:`repro.media.display` — a display sink collecting jitter/lateness/
   continuity statistics and emitting window-resize events;
 * :mod:`repro.media.resize` — the resizer that reacts to them;
-* :mod:`repro.media.audio` — a clock-driven active audio device.
+* :mod:`repro.media.audio` — a clock-driven active audio device and a
+  vectorized int16 gain mixer;
+* :mod:`repro.media.batch` / :mod:`repro.media.arrays` — columnar
+  :class:`FrameBatch`/:class:`SampleBatch` runs with one contiguous
+  payload region (numpy-backed via the ``repro[media]`` extra, stdlib
+  ``array`` otherwise) — the zero-copy media plane (docs/MEDIA.md).
 """
 
-from repro.media.audio import AudioDevice, AudioSource
+from repro.media.audio import AudioDevice, AudioMixer, AudioSource
+from repro.media.batch import FrameBatch, SampleBatch
 from repro.media.codec import MpegDecoder, MpegEncoder
 from repro.media.display import VideoDisplay
 from repro.media.dropper import PriorityDropFilter
-from repro.media.frames import AudioSample, MidiEvent, VideoFrame
+from repro.media.frames import (
+    AudioSample,
+    MidiEvent,
+    VideoFrame,
+    synth_payload,
+)
 from repro.media.gop import GopStructure
 from repro.media.resize import Resizer
 from repro.media.source import CameraSource, MidiSource, MpegFileSource
 
 __all__ = [
     "AudioDevice",
+    "AudioMixer",
     "AudioSample",
     "AudioSource",
     "CameraSource",
+    "FrameBatch",
     "GopStructure",
     "MidiEvent",
     "MidiSource",
@@ -40,6 +53,8 @@ __all__ = [
     "MpegFileSource",
     "PriorityDropFilter",
     "Resizer",
+    "SampleBatch",
     "VideoDisplay",
     "VideoFrame",
+    "synth_payload",
 ]

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from repro.core.styles import Consumer
 from repro.core.typespec import Typespec, props
-from repro.media.frames import VideoFrame
+from repro.media import arrays
+from repro.media.batch import FrameBatch, build_payload_region
+from repro.media.frames import VideoFrame, synth_payload
 
 
 class MpegDecoder(Consumer):
@@ -45,7 +47,8 @@ class MpegDecoder(Consumer):
         self.reference_frames: dict[int, VideoFrame] = {}
         #: Sequence numbers of frames decoded successfully.
         self._decoded: set[int] = set()
-        self.stats.update(decoded=0, skipped_undecodable=0, released=0)
+        self.stats.update(decoded=0, skipped_undecodable=0, released=0,
+                          bytes_in=0, bytes_out=0)
 
     # -- data path ---------------------------------------------------------
 
@@ -54,6 +57,7 @@ class MpegDecoder(Consumer):
             raise TypeError(
                 f"{self.name!r} expects encoded VideoFrames, got {frame!r}"
             )
+        self.stats["bytes_in"] += frame.size
         if not self._decodable(frame):
             self.stats["skipped_undecodable"] += 1
             return
@@ -67,8 +71,73 @@ class MpegDecoder(Consumer):
         if frame.kind in ("I", "P") and self.share_references:
             self.reference_frames[frame.seq] = decoded
         self.stats["decoded"] += 1
+        self.stats["bytes_out"] += decoded.size
         self.put(decoded)
         self._forget_stale(frame.seq)
+
+    def process_run(self, run) -> "FrameBatch | None":
+        """Vectorized entry for columnar runs.
+
+        Declines (returns None, falling back to per-item pushes) when
+        reference sharing is on — the §2.2 frame-release protocol hands
+        out *owned* per-frame objects, which a columnar batch cannot
+        represent — or when the run is not a batch of encoded frames.
+        The decode loop walks sequences in order so within-batch
+        dependencies (a P frame referencing the I frame three slots
+        earlier) resolve exactly as they do per item.
+        """
+        if self.share_references:
+            return None
+        kinds = getattr(run, "kind", None)
+        if not isinstance(kinds, str):
+            return None
+        count = len(run)
+        if arrays.col_sum(run.encoded) != count:
+            return None  # per-item path raises the clear type error
+        stats = self.stats
+        stats["items_in"] += count
+        stats["bytes_in"] += run.nominal_bytes
+        decoded_set = self._decoded
+        deps = run.deps
+        seq_col, widths, heights = run.seq, run.width, run.height
+        cost = self.cost_per_mb
+        keep: list[int] = []
+        raw_sizes: list[int] = []
+        for i in range(count):
+            if not all(d in decoded_set for d in deps[i]):
+                stats["skipped_undecodable"] += 1
+                continue
+            seq = int(seq_col[i])
+            raw = int(int(widths[i]) * int(heights[i]) * 1.5)  # YUV420
+            if cost:
+                self.charge(cost * raw / 1_000_000.0)
+            decoded_set.add(seq)
+            stats["decoded"] += 1
+            keep.append(i)
+            raw_sizes.append(raw)
+            self._forget_stale(seq)
+        n = len(keep)
+        region = offsets = None
+        if n and run.has_payload:
+            region, offsets = build_payload_region(
+                [int(seq_col[i]) for i in keep], raw_sizes
+            )
+        out = FrameBatch(
+            seq=arrays.take(seq_col, keep),
+            kind="".join(kinds[i] for i in keep),
+            pts=arrays.take(run.pts, keep),
+            size=arrays.i64(raw_sizes),
+            width=arrays.take(widths, keep),
+            height=arrays.take(heights, keep),
+            gop_id=arrays.take(run.gop_id, keep),
+            encoded=arrays.u8([0] * n),
+            deps=tuple(deps[i] for i in keep),
+            region=region,
+            offsets=offsets,
+        )
+        stats["items_out"] += n
+        stats["bytes_out"] += out.nominal_bytes
+        return out
 
     def _decodable(self, frame: VideoFrame) -> bool:
         return all(dep in self._decoded for dep in frame.deps)
@@ -109,25 +178,76 @@ class MpegEncoder(Consumer):
         super().__init__(name)
         self.cost_per_mb = cost_per_mb
         self.compression = compression
-        self.stats.update(encoded=0)
+        self.stats.update(encoded=0, bytes_in=0, bytes_out=0)
 
     def push(self, frame: VideoFrame) -> None:
         if not isinstance(frame, VideoFrame) or frame.encoded:
             raise TypeError(
                 f"{self.name!r} expects raw VideoFrames, got {frame!r}"
             )
+        self.stats["bytes_in"] += frame.size
         if self.cost_per_mb:
             self.charge(self.cost_per_mb * frame.size / 1_000_000.0)
+        size = max(64, int(frame.size / self.compression))
         encoded = VideoFrame(
             seq=frame.seq,
             kind=frame.kind,
             pts=frame.pts,
-            size=max(64, int(frame.size / self.compression)),
+            size=size,
             width=frame.width,
             height=frame.height,
             gop_id=frame.gop_id,
             encoded=True,
             deps=frame.deps,
+            payload=(
+                synth_payload(frame.seq, size)
+                if frame.payload is not None
+                else None
+            ),
         )
         self.stats["encoded"] += 1
+        self.stats["bytes_out"] += size
         self.put(encoded)
+
+    def process_run(self, run) -> "FrameBatch | None":
+        """Vectorized entry: encode a whole raw columnar run at once."""
+        kinds = getattr(run, "kind", None)
+        if not isinstance(kinds, str):
+            return None
+        count = len(run)
+        if arrays.col_sum(run.encoded) != 0:
+            return None  # per-item path raises the clear type error
+        stats = self.stats
+        stats["items_in"] += count
+        stats["bytes_in"] += run.nominal_bytes
+        cost = self.cost_per_mb
+        compression = self.compression
+        sizes = run.size
+        out_sizes: list[int] = []
+        for i in range(count):
+            size = int(sizes[i])
+            if cost:
+                self.charge(cost * size / 1_000_000.0)
+            out_sizes.append(max(64, int(size / compression)))
+        stats["encoded"] += count
+        region = offsets = None
+        if count and run.has_payload:
+            region, offsets = build_payload_region(
+                arrays.tolist(run.seq), out_sizes
+            )
+        out = FrameBatch(
+            seq=run.seq,
+            kind=kinds,
+            pts=run.pts,
+            size=arrays.i64(out_sizes),
+            width=run.width,
+            height=run.height,
+            gop_id=run.gop_id,
+            encoded=arrays.u8([1] * count),
+            deps=run.deps,
+            region=region,
+            offsets=offsets,
+        )
+        stats["items_out"] += count
+        stats["bytes_out"] += out.nominal_bytes
+        return out

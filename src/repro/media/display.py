@@ -41,7 +41,7 @@ class VideoDisplay(Sink):
         self._engine: "Engine | None" = None
         self.width = 640
         self.height = 480
-        self.stats.update(displayed=0, releases_sent=0)
+        self.stats.update(displayed=0, releases_sent=0, bytes_in=0)
 
     def on_attach(self, engine: "Engine") -> None:
         self._engine = engine
@@ -49,6 +49,7 @@ class VideoDisplay(Sink):
     # -- data path ----------------------------------------------------------
 
     def push(self, frame: VideoFrame) -> None:
+        self.stats["bytes_in"] += frame.size
         if self.render_cost:
             self.charge(self.render_cost)
         self.frames.append(frame)

@@ -83,6 +83,67 @@ class GopStructure:
         for seq in range(count):
             yield self.frame(seq)
 
+    def frame_batch(
+        self, start_seq: int, count: int, payloads: bool = False
+    ) -> "FrameBatch":
+        """Build frames ``start_seq .. start_seq+count-1`` as ONE columnar
+        batch — no per-frame dataclasses.
+
+        Column values (including the per-frame RNG draw order and the
+        reference-dependency tracking) are byte-identical to ``count``
+        sequential :meth:`frame` calls, so per-item and columnar pipelines
+        see the same stream.  With ``payloads=True`` one contiguous region
+        is filled with each frame's synthetic payload.
+        """
+        from repro.media import arrays
+        from repro.media.batch import FrameBatch, build_payload_region
+
+        pattern = self.pattern
+        plen = len(pattern)
+        sizes_by_kind = self.sizes
+        scale = (self.width * self.height) / (640 * 480)
+        variation = self.size_variation
+        rng = self._rng.random
+        fps = self.fps
+        seqs, kinds, ptss, sizes, gops, deps = [], [], [], [], [], []
+        for seq in range(start_seq, start_seq + count):
+            kind = pattern[seq % plen]
+            jittered = sizes_by_kind[kind] * scale * (
+                1.0 + variation * (2.0 * rng() - 1.0)
+            )
+            if kind == "I":
+                frame_deps: tuple[int, ...] = ()
+            else:
+                frame_deps = (
+                    (self._last_reference,)
+                    if self._last_reference is not None
+                    else ()
+                )
+            seqs.append(seq)
+            kinds.append(kind)
+            ptss.append(seq / fps)
+            sizes.append(max(64, int(jittered)))
+            gops.append(seq // plen)
+            deps.append(frame_deps)
+            if kind in ("I", "P"):
+                self._last_reference = seq
+        region = offsets = None
+        if payloads:
+            region, offsets = build_payload_region(seqs, sizes)
+        return FrameBatch(
+            seq=arrays.i64(seqs),
+            kind="".join(kinds),
+            pts=arrays.f64(ptss),
+            size=arrays.i64(sizes),
+            width=arrays.i64([self.width] * count),
+            height=arrays.i64([self.height] * count),
+            gop_id=arrays.i64(gops),
+            encoded=arrays.u8([1] * count),
+            deps=tuple(deps),
+            region=region,
+            offsets=offsets,
+        )
+
     def average_frame_size(self) -> float:
         scale = (self.width * self.height) / (640 * 480)
         total = sum(self.sizes[k] * scale for k in self.pattern)

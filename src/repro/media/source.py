@@ -7,7 +7,7 @@ import random
 from repro.components.sources import ActiveSource, Source
 from repro.core.events import EOS
 from repro.core.typespec import Interval, Typespec, props
-from repro.media.frames import MidiEvent
+from repro.media.frames import MidiEvent, synth_payload
 from repro.media.gop import GopStructure
 
 
@@ -37,19 +37,42 @@ class MpegFileSource(Source):
         frames: int = 300,
         gop: GopStructure | None = None,
         name: str | None = None,
+        payloads: bool = False,
     ):
         self.filename = filename
         self.gop = gop or GopStructure(seed=sum(map(ord, filename)))
         super().__init__(name, flow_spec=_video_spec(self.gop))
         self._total = frames
         self._next = 0
+        #: Attach synthetic payload bytes to every frame (the
+        #: payload-weighted media plane; metadata-only when False).
+        self.payloads = payloads
+        self.stats.update(bytes_out=0)
 
     def pull(self):
         if self._next >= self._total:
             return EOS
         frame = self.gop.frame(self._next)
+        if self.payloads:
+            frame.payload = synth_payload(frame.seq, frame.size)
+        self.stats["bytes_out"] += frame.size
         self._next += 1
         return frame
+
+    def pull_many(self, n: int):
+        """Batch pull entry (columnar fast path): up to ``n`` frames as
+        ONE FrameBatch; ``[EOS]`` once exhausted.  The frame stream is
+        identical to per-item :meth:`pull` calls."""
+        remaining = self._total - self._next
+        if remaining <= 0:
+            return [EOS]
+        count = n if n < remaining else remaining
+        batch = self.gop.frame_batch(
+            self._next, count, payloads=self.payloads
+        )
+        self._next += count
+        self.stats["bytes_out"] += batch.nominal_bytes
+        return batch
 
 
 class CameraSource(ActiveSource):

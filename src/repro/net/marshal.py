@@ -7,6 +7,18 @@ The wire format is a compact tag-length-value binary encoding built with
 ``struct`` — no pickling, so the format is explicit, versionable, and safe
 to decode.  Applications register codecs for their own item classes with
 :func:`register_codec` (the media substrate registers its frame types).
+
+Two encoding tiers coexist:
+
+* **per-item TLV** — :func:`encode_item` / :func:`decode_item`, the
+  original format, unchanged byte-for-byte (golden traces pin it);
+* **columnar runs** — a :class:`~repro.core.runs.ColumnarRun` whose type
+  was registered with :func:`register_run_codec` encodes straight into ONE
+  preallocated ``bytearray`` already laid out in the coalesced frame
+  format (:class:`EncodedRun`), and decodes back from ``memoryview``
+  slices into the received frame without copying payload bytes
+  (:func:`decode_batch_views`).  Chunk first-bytes ``0x20..0x7F`` are
+  reserved for these raw codecs, disjoint from the TLV tags below.
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Callable
 
+from repro.core.runs import ColumnarRun, is_columnar
 from repro.core.styles import FunctionComponent
 from repro.core.typespec import Typespec, props
 from repro.errors import MarshalError
@@ -35,6 +48,12 @@ _T_CUSTOM = 10
 _custom_encoders: dict[type, tuple[str, Callable[[Any], dict]]] = {}
 _custom_decoders: dict[str, Callable[[dict], Any]] = {}
 
+#: First byte of a raw columnar chunk; values below this are TLV tags.
+RUN_WIRE_BASE = 0x20
+
+_run_encoders: dict[type, Callable[[Any], "EncodedRun"]] = {}
+_run_decoders: dict[int, tuple[Callable[[list], Any], Callable[[Any], Any]]] = {}
+
 
 def register_codec(
     cls: type,
@@ -51,6 +70,30 @@ def register_codec(
     _custom_decoders[tag] = from_fields
 
 
+def register_run_codec(
+    run_cls: type,
+    wire_id: int,
+    encode_run: Callable[[Any], "EncodedRun"],
+    decode_many: Callable[[list], Any],
+    decode_one: Callable[[Any], Any],
+) -> None:
+    """Register a columnar run codec.
+
+    ``encode_run`` maps a ColumnarRun instance to an :class:`EncodedRun`;
+    ``decode_many`` rebuilds a ColumnarRun from a homogeneous list of
+    chunk views (each starting with ``wire_id``); ``decode_one`` rebuilds
+    a single item from one chunk (the per-item fallback when a raw chunk
+    meets an unbatched receiver).
+    """
+    if not (RUN_WIRE_BASE <= wire_id <= 0x7F):
+        raise MarshalError(
+            f"run wire id must be in [{RUN_WIRE_BASE:#x}, 0x7f], "
+            f"got {wire_id:#x}"
+        )
+    _run_encoders[run_cls] = encode_run
+    _run_decoders[wire_id] = (decode_many, decode_one)
+
+
 def encode_item(item: Any) -> bytes:
     """Encode an item to wire bytes."""
     out = bytearray()
@@ -58,9 +101,17 @@ def encode_item(item: Any) -> bytes:
     return bytes(out)
 
 
-def decode_item(data: bytes) -> Any:
-    """Decode wire bytes back to an item."""
-    item, offset = _decode(data, 0)
+def decode_item(data) -> Any:
+    """Decode wire bytes (or a memoryview of them) back to an item."""
+    if len(data) and data[0] >= RUN_WIRE_BASE:
+        codec = _run_decoders.get(data[0])
+        if codec is None:
+            raise MarshalError(f"unknown wire tag {data[0]}")
+        return codec[1](data)
+    try:
+        item, offset = _decode(data, 0)
+    except struct.error as exc:
+        raise MarshalError(f"truncated data: {exc}") from None
     if offset != len(data):
         raise MarshalError(
             f"trailing garbage: consumed {offset} of {len(data)} bytes"
@@ -86,7 +137,7 @@ def _encode(value: Any, out: bytearray) -> None:
         out.append(_T_STR)
         out += struct.pack("!I", len(raw))
         out += raw
-    elif isinstance(value, bytes):
+    elif isinstance(value, (bytes, bytearray, memoryview)):
         out.append(_T_BYTES)
         out += struct.pack("!I", len(value))
         out += value
@@ -119,7 +170,7 @@ def _encode(value: Any, out: bytearray) -> None:
         )
 
 
-def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+def _decode(data, offset: int) -> tuple[Any, int]:
     try:
         tag = data[offset]
     except IndexError:
@@ -140,10 +191,20 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
     if tag == _T_STR:
         (length,) = struct.unpack_from("!I", data, offset)
         offset += 4
-        return data[offset : offset + length].decode("utf-8"), offset + length
+        if offset + length > len(data):
+            raise MarshalError(
+                f"truncated string: need {length} bytes, "
+                f"have {len(data) - offset}"
+            )
+        return str(data[offset : offset + length], "utf-8"), offset + length
     if tag == _T_BYTES:
         (length,) = struct.unpack_from("!I", data, offset)
         offset += 4
+        if offset + length > len(data):
+            raise MarshalError(
+                f"truncated bytes: need {length} bytes, "
+                f"have {len(data) - offset}"
+            )
         return bytes(data[offset : offset + length]), offset + length
     if tag in (_T_TUPLE, _T_LIST):
         (length,) = struct.unpack_from("!I", data, offset)
@@ -165,7 +226,9 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
     if tag == _T_CUSTOM:
         (tag_len,) = struct.unpack_from("!H", data, offset)
         offset += 2
-        type_tag = data[offset : offset + tag_len].decode("ascii")
+        if offset + tag_len > len(data):
+            raise MarshalError("truncated codec tag")
+        type_tag = str(data[offset : offset + tag_len], "ascii")
         offset += tag_len
         fields, offset = _decode(data, offset)
         decoder = _custom_decoders.get(type_tag)
@@ -175,13 +238,17 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
     raise MarshalError(f"unknown wire tag {tag}")
 
 
-def encode_batch(chunks: list[bytes]) -> bytes:
+# -- coalesced frames ----------------------------------------------------------
+
+
+def encode_batch(chunks: list) -> bytes:
     """Coalesce already-encoded items into one frame payload.
 
     Frame format: ``!I`` chunk count, then per chunk a ``!I`` length
     prefix followed by the chunk bytes.  Used by the batched data plane's
     netpipe coalescing (one frame per sender flush instead of one message
-    per item); :func:`decode_batch` unfragments exactly.
+    per item); :func:`decode_batch` unfragments exactly.  Chunks may be
+    ``bytes``, ``bytearray`` or ``memoryview``.
     """
     out = bytearray(struct.pack("!I", len(chunks)))
     for chunk in chunks:
@@ -190,26 +257,121 @@ def encode_batch(chunks: list[bytes]) -> bytes:
     return bytes(out)
 
 
-def decode_batch(data: bytes) -> list[bytes]:
-    """Split a frame payload back into its encoded items."""
-    if len(data) < 4:
-        raise MarshalError("truncated frame header")
-    (count,) = struct.unpack_from("!I", data, 0)
+def alloc_run_buffer(lengths: list[int]) -> tuple[bytearray, list[int]]:
+    """Preallocate ONE frame-format buffer for chunks of the given lengths.
+
+    Returns ``(buffer, offsets)``: the chunk-count header and every
+    per-chunk length prefix are already written; ``offsets[i]`` is where
+    chunk ``i``'s body starts.  Run codecs fill the bodies in place via
+    ``memoryview`` slices (zero intermediate allocations), then wrap the
+    buffer in an :class:`EncodedRun`.
+    """
+    n = len(lengths)
+    buffer = bytearray(4 + 4 * n + sum(lengths))
+    struct.pack_into("!I", buffer, 0, n)
+    offsets = []
     offset = 4
-    chunks: list[bytes] = []
-    for _ in range(count):
-        if offset + 4 > len(data):
-            raise MarshalError("truncated frame chunk header")
-        (length,) = struct.unpack_from("!I", data, offset)
+    for length in lengths:
+        struct.pack_into("!I", buffer, offset, length)
+        offset += 4
+        offsets.append(offset)
+        offset += length
+    return buffer, offsets
+
+
+class EncodedRun(ColumnarRun):
+    """A columnar run of already-encoded wire chunks sharing ONE buffer.
+
+    The buffer is *already in the coalesced frame format* — the sender
+    hands it to ``protocol.send_frame`` as-is, with no per-item encode and
+    no reassembly copy.  Indexing and iteration yield ``memoryview``
+    chunk slices, so the run still behaves as N byte items for gates,
+    stats and any per-item fallback path.
+    """
+
+    __slots__ = ("buffer", "offsets", "lengths", "_mv")
+
+    def __init__(self, buffer: bytearray, offsets: list[int],
+                 lengths: list[int]):
+        self.buffer = buffer
+        self.offsets = offsets
+        self.lengths = lengths
+        self._mv = memoryview(buffer)
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def chunk(self, i: int) -> memoryview:
+        offset = self.offsets[i]
+        return self._mv[offset : offset + self.lengths[i]]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.chunk(i) for i in range(len(self))[index]]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        return self.chunk(index)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.lengths)
+
+    def frame_payload(self) -> memoryview:
+        """The whole buffer, ready for ``protocol.send_frame``."""
+        return self._mv
+
+
+def encode_run(run: Any) -> EncodedRun | None:
+    """Encode a ColumnarRun via its registered run codec, or None when no
+    codec covers its type (callers fall back to per-item TLV)."""
+    encoder = _run_encoders.get(type(run))
+    return None if encoder is None else encoder(run)
+
+
+def decode_batch(data) -> list[bytes]:
+    """Split a frame payload back into its encoded items (copying)."""
+    return [bytes(chunk) for chunk in decode_batch_views(data)]
+
+
+def decode_batch_views(data) -> list[memoryview]:
+    """Split a frame payload into ``memoryview`` chunk slices — zero copy.
+
+    Every chunk aliases the received frame buffer; raising a clear
+    :class:`MarshalError` on truncated or malformed frames (count or
+    length prefixes pointing past the end, trailing garbage) instead of
+    misparsing.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    total = view.nbytes
+    if total < 4:
+        raise MarshalError(
+            f"truncated frame header: {total} of 4 bytes"
+        )
+    (count,) = struct.unpack_from("!I", view, 0)
+    offset = 4
+    chunks: list[memoryview] = []
+    for index in range(count):
+        if offset + 4 > total:
+            raise MarshalError(
+                f"truncated frame: chunk {index} of {count} has no "
+                f"length prefix"
+            )
+        (length,) = struct.unpack_from("!I", view, offset)
         offset += 4
         end = offset + length
-        if end > len(data):
-            raise MarshalError("truncated frame chunk")
-        chunks.append(bytes(data[offset:end]))
+        if end > total:
+            raise MarshalError(
+                f"truncated frame chunk {index}: need {length} bytes, "
+                f"have {total - offset}"
+            )
+        chunks.append(view[offset:end])
         offset = end
-    if offset != len(data):
+    if offset != total:
         raise MarshalError(
-            f"trailing garbage: consumed {offset} of {len(data)} bytes"
+            f"trailing garbage: consumed {offset} of {total} bytes"
         )
     return chunks
 
@@ -232,17 +394,29 @@ class MarshalFilter(FunctionComponent):
     def __init__(self, name: str | None = None, cost_per_kb: float = 0.0):
         super().__init__(name)
         self._cost_per_kb = cost_per_kb
+        self.stats.update(bytes_out=0)
 
     def convert(self, item: Any) -> bytes:
         data = encode_item(item)
+        self.stats["bytes_out"] += len(data)
         if self._cost_per_kb:
             self.charge(self._cost_per_kb * len(data) / 1024.0)
         return data
 
-    def convert_many(self, items: list) -> list:
+    def convert_many(self, items: list) -> Any:
+        if is_columnar(items):
+            run = encode_run(items)
+            if run is not None:
+                total = run.nbytes
+                self.stats["bytes_out"] += total
+                if self._cost_per_kb:
+                    self.charge(self._cost_per_kb * total / 1024.0)
+                return run
+            items = list(items)
         out = [encode_item(item) for item in items]
+        total = sum(len(data) for data in out)
+        self.stats["bytes_out"] += total
         if self._cost_per_kb:
-            total = sum(len(data) for data in out)
             self.charge(self._cost_per_kb * total / 1024.0)
         return out
 
@@ -260,17 +434,48 @@ class UnmarshalFilter(FunctionComponent):
     def __init__(self, name: str | None = None, cost_per_kb: float = 0.0):
         super().__init__(name)
         self._cost_per_kb = cost_per_kb
+        self.stats.update(bytes_in=0)
 
-    def convert(self, data: bytes) -> Any:
+    def convert(self, data) -> Any:
+        self.stats["bytes_in"] += len(data)
         if self._cost_per_kb:
             self.charge(self._cost_per_kb * len(data) / 1024.0)
         return decode_item(data)
 
-    def convert_many(self, chunks: list) -> list:
+    def convert_many(self, chunks: list) -> Any:
+        total = sum(len(data) for data in chunks)
+        self.stats["bytes_in"] += total
         if self._cost_per_kb:
-            total = sum(len(data) for data in chunks)
             self.charge(self._cost_per_kb * total / 1024.0)
+        run = self._decode_run(chunks)
+        if run is not None:
+            return run
         return [decode_item(data) for data in chunks]
+
+    @staticmethod
+    def _decode_run(chunks: list) -> Any:
+        """Rebuild a ColumnarRun when every chunk carries the same
+        registered raw wire id — the received payload views flow straight
+        into the batch's payload columns, zero copies."""
+        if not chunks:
+            return None
+        first = chunks[0]
+        if not isinstance(first, (bytes, bytearray, memoryview)):
+            return None
+        if not len(first) or first[0] < RUN_WIRE_BASE:
+            return None
+        wire_id = first[0]
+        codec = _run_decoders.get(wire_id)
+        if codec is None:
+            return None
+        for chunk in chunks:
+            if (
+                not isinstance(chunk, (bytes, bytearray, memoryview))
+                or not len(chunk)
+                or chunk[0] != wire_id
+            ):
+                return None
+        return codec[0](chunks)
 
     def transform_typespec(self, spec: Typespec) -> Typespec:
         carried = spec["carried"]

@@ -24,7 +24,7 @@ from repro.core.polarity import Mode
 from repro.core.styles import Style
 from repro.core.typespec import Typespec, props
 from repro.errors import MarshalError, RemoteError
-from repro.net.marshal import decode_batch, encode_batch
+from repro.net.marshal import EncodedRun, decode_batch_views, encode_batch
 from repro.net.network import Network
 from repro.net.protocols import DatagramProtocol, Protocol, StreamProtocol
 
@@ -42,14 +42,15 @@ class NetpipeSender(Component):
         self.add_in_port(mode=Mode.PUSH)
         self.protocol = protocol
         self.location = protocol.src
-        self.stats.update(frames_out=0)
+        self.stats.update(frames_out=0, bytes_in=0)
 
     def push(self, item: Any) -> None:
-        if not isinstance(item, bytes):
+        if not isinstance(item, (bytes, bytearray, memoryview)):
             raise MarshalError(
                 f"{self.name!r} needs a byte flow; put a MarshalFilter "
                 f"upstream (got {type(item).__name__})"
             )
+        self.stats["bytes_in"] += len(item)
         self.protocol.send(item)
 
     def push_many(self, items: list) -> None:
@@ -58,13 +59,26 @@ class NetpipeSender(Component):
         instead of one message per item.  The receiving netpipe (or the
         protocol itself, for frame-unaware receivers) unfragments the
         frame back to individual items, so the item stream is unchanged.
+
+        An :class:`EncodedRun` is the zero-copy fast path: its buffer is
+        *already* in frame format (the marshal filter wrote headers and
+        payloads into one preallocated bytearray), so the run goes to the
+        protocol as-is — no per-item validation, no re-framing copy.
         """
+        if isinstance(items, EncodedRun):
+            self.stats["bytes_in"] += items.nbytes
+            self.stats["frames_out"] += 1
+            self.protocol.send_frame(items.frame_payload())
+            return
+        total = 0
         for item in items:
-            if not isinstance(item, bytes):
+            if not isinstance(item, (bytes, bytearray, memoryview)):
                 raise MarshalError(
                     f"{self.name!r} needs a byte flow; put a MarshalFilter "
                     f"upstream (got {type(item).__name__})"
                 )
+            total += len(item)
+        self.stats["bytes_in"] += total
         self.stats["frames_out"] += 1
         self.protocol.send_frame(encode_batch(items))
 
@@ -97,10 +111,12 @@ class NetpipeReceiver(Component):
         self.location = protocol.dst
         self.on_empty = on_empty
         self.flow_spec = flow_spec or Typespec({props.FORMAT: "bytes"})
-        self._queue: deque[bytes] = deque()
+        #: Received wire chunks: bytes for per-item messages, zero-copy
+        #: memoryview slices into the frame buffer for coalesced frames.
+        self._queue: deque = deque()
         self._eos_pending = False
         self._gate = None
-        self.stats.update(frames_in=0)
+        self.stats.update(frames_in=0, bytes_in=0, bytes_out=0)
         protocol.on_deliver(
             self._deliver, self._deliver_eos, self._deliver_frame
         )
@@ -149,7 +165,9 @@ class NetpipeReceiver(Component):
             self.stats["items_out"] += 1
             if self._obs_now is not None and self._obs_ts:
                 self._obs_wait.observe(self._obs_now() - self._obs_ts.popleft())
-            return OK, self._queue.popleft()
+            chunk = self._queue.popleft()
+            self.stats["bytes_out"] += len(chunk)
+            return OK, chunk
         if self._eos_pending:
             self._eos_pending = False
             return OK, EOS
@@ -165,6 +183,7 @@ class NetpipeReceiver(Component):
             k = queued if queued < n else n
             queue = self._queue
             run = [queue.popleft() for _ in range(k)]
+            self.stats["bytes_out"] += sum(len(chunk) for chunk in run)
             if self._obs_now is not None and self._obs_ts:
                 now = self._obs_now()
                 ts = self._obs_ts
@@ -193,14 +212,23 @@ class NetpipeReceiver(Component):
         if self._obs_now is not None:
             self._obs_ts.append(self._obs_now())
         self.stats["items_in"] += 1
+        self.stats["bytes_in"] += len(payload)
         if self._gate is not None:
             self._gate.external_wake_pullers()
 
-    def _deliver_frame(self, payload: bytes) -> None:
+    def _deliver_frame(self, payload) -> None:
         """A coalesced frame arrived: unfragment back to items, one wake
-        for the whole run."""
-        chunks = decode_batch(payload)
+        for the whole run.
+
+        The chunks handed downstream are ``memoryview`` slices into the
+        received frame buffer — zero payload copies on the receive path
+        (the run-codec decoders keep aliasing that buffer all the way
+        into component payload views).  A truncated or malformed frame
+        raises a clear :class:`~repro.errors.MarshalError`.
+        """
+        chunks = decode_batch_views(payload)
         self._queue.extend(chunks)
+        self.stats["bytes_in"] += len(payload)
         if self._obs_now is not None:
             now = self._obs_now()
             ts = self._obs_ts

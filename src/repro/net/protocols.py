@@ -243,8 +243,9 @@ class StreamProtocol(Protocol):
         dst: str,
         retransmit_timeout: float = 0.1,
         max_retries: int = 20,
+        mtu: int = DEFAULT_MTU,
     ):
-        super().__init__(network, flow, src, dst)
+        super().__init__(network, flow, src, dst, mtu)
         self.retransmit_timeout = retransmit_timeout
         self.max_retries = max_retries
         self._ack_flow = flow + "/ack"

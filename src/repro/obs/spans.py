@@ -198,6 +198,13 @@ class Telemetry:
                 fn=lambda s=stats, k=f"items_{direction}": s.get(k, 0),
                 component=name, direction=direction,
             )
+        for direction in ("in", "out"):
+            registry.gauge(
+                "repro_component_bytes_total",
+                help="Payload bytes through each component (mirrors stats)",
+                fn=lambda s=stats, k=f"bytes_{direction}": s.get(k, 0),
+                component=name, direction=direction,
+            )
         registry.gauge(
             "repro_component_drops_total",
             help="Declared drops per component",

@@ -946,6 +946,31 @@ def _convert_many_fn(component):
     return lambda items: [convert(item) for item in items]
 
 
+def _subtree_batch_source(engine, target) -> bool:
+    """True when ``target`` is a chain of plain FUNCTION nodes over a
+    gate-less boundary source that offers a batch ``pull_many`` entry.
+
+    Such subtrees must NOT collapse into the per-item plain tier — the
+    recursive FUNCTION composition reaches the source's columnar fast
+    path instead, so whole batches flow through without materializing
+    per-item objects.
+    """
+    while isinstance(target, FlowNode):
+        component = target.component
+        if (
+            engine.is_coroutine(component)
+            or engine.lock_for(component) is not None
+            or component.style is not Style.FUNCTION
+        ):
+            return False
+        target = target.branches["in"]
+    component = target.component
+    return (
+        engine.gate_for(component) is None
+        and getattr(component, "pull_many", None) is not None
+    )
+
+
 def _compile_pull_plain(ctx: ThreadCtx, target: FlowTarget):
     """Compile ``target`` into ``(fn, drains)`` of plain callables when the
     whole subtree has no gate, lock or coroutine boundary — else None.
@@ -1107,7 +1132,34 @@ def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
 
             return gate_pull_many
 
-    plain = _compile_pull_plain(ctx, target)
+        pull_run = getattr(component, "pull_many", None)
+        if pull_run is not None:
+            # Batch-aware source: one pull_many call per run, typically
+            # returning a columnar batch (pure data; EOS arrives as its
+            # own [EOS] run on a later cycle).
+            stats = component.stats
+            take_cost = _bind_drain_fn(component)
+
+            def source_pull_many(n):
+                run = pull_run(n)
+                count = len(run)
+                if count:
+                    if not getattr(run, "columnar", False) and run[-1] is EOS:
+                        count -= 1
+                    if count:
+                        stats["items_out"] += count
+                cost = take_cost()
+                if cost > 0.0:
+                    yield Work(cost)
+                return run
+
+            return source_pull_many
+
+    plain = (
+        None
+        if _subtree_batch_source(engine, target)
+        else _compile_pull_plain(ctx, target)
+    )
     if plain is not None:
         fn, drains = plain
 
@@ -1155,6 +1207,10 @@ def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
                 else:
                     results = []
                 if eos:
+                    if type(results) is not list:
+                        # Columnar results materialize once at stream end
+                        # so the trailing EOS keeps its list-run form.
+                        results = list(results)
                     results.append(EOS)
                 return results
 
@@ -1355,8 +1411,23 @@ def _compile_push_node_many(ctx: ThreadCtx, node: FlowNode):
         receive = _bind_receive_push(component, node.entry_port)
         queue = engine.pending_for(component).queue
         take_cost = _bind_drain_fn(component)
+        process_run = getattr(component, "process_run", None)
 
         def consumer_push_many(items):
+            if process_run is not None and getattr(items, "columnar", False):
+                # Vectorized consumer entry: the component transforms the
+                # whole columnar run (updating its own stats, including
+                # items_in/items_out and declared drops, exactly as the
+                # per-item path would), or returns None to decline and
+                # fall back to per-item receive().
+                outs = process_run(items)
+                if outs is not None:
+                    cost = take_cost()
+                    if cost > 0.0:
+                        yield Work(cost)
+                    if len(outs):
+                        yield from child_many(outs)
+                    return
             outs = []
             for item in items:
                 receive(item)

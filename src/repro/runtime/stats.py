@@ -49,6 +49,15 @@ class PipelineStats:
     def total_cycles(self) -> int:
         return sum(self.cycles.values())
 
+    def bytes_in(self, component_name: str) -> int:
+        """Payload bytes a component accepted (nominal frame sizes for
+        media components, wire lengths for marshal/netpipe)."""
+        return self.components.get(component_name, {}).get("bytes_in", 0)
+
+    def bytes_out(self, component_name: str) -> int:
+        """Payload bytes a component emitted."""
+        return self.components.get(component_name, {}).get("bytes_out", 0)
+
     def drops(self, component_name: str) -> int:
         """Items a component *declared* dropping: the sum of its counters
         named ``drops`` or ``dropped*`` (``drops``, ``dropped_B``, ...).

@@ -1,0 +1,238 @@
+"""Property: the columnar media plane is unobservable at the sink.
+
+For the payload-weighted video pipeline (source -> dropper -> decoder ->
+resizer -> display), columnar batches at ``batch_max`` 8 and 32 must
+deliver the exact per-item (``batch_max=1``) frame stream — sequence
+numbers, kinds, sizes, dimensions AND payload bytes — and the flow
+conservation invariants must hold.  Same for the netpipe variant (the
+zero-copy wire path) and for the audio mixer under both array backends.
+"""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine, GreedyPump, Pipeline, connect, pipeline
+from repro.check import assert_flow, explore
+from repro.core.typespec import Typespec
+from repro.mbt import Scheduler, VirtualClock
+from repro.media import (
+    AudioMixer,
+    AudioSample,
+    MpegDecoder,
+    MpegFileSource,
+    PriorityDropFilter,
+    Resizer,
+    VideoDisplay,
+    arrays,
+)
+from repro.media.batch import SampleBatch
+from repro.net import Network, Node, RemoteBinder
+
+BATCH_SIZES = (1, 8, 32)
+
+
+def frame_signature(display):
+    return [
+        (
+            f.seq, f.kind, f.size, f.width, f.height, f.encoded,
+            None if f.payload is None else bytes(f.payload),
+        )
+        for f in display.frames
+    ]
+
+
+def build_local(frames, level, dims, payloads):
+    source = MpegFileSource("prop.mpg", frames=frames, payloads=payloads)
+    display = VideoDisplay(input_spec=Typespec())
+    pipe = pipeline(
+        source,
+        GreedyPump(),
+        PriorityDropFilter(level=level),
+        MpegDecoder(share_references=False),
+        Resizer(width=dims[0], height=dims[1]),
+        display,
+    )
+    return pipe, display
+
+
+def run_local(batch_max, frames, level, dims, payloads):
+    pipe, display = build_local(frames, level, dims, payloads)
+    engine = Engine(pipe, batch_max=batch_max)
+    engine.start()
+    engine.run(max_steps=500_000)
+    assert_flow(engine)
+    return frame_signature(display)
+
+
+@given(
+    frames=st.integers(min_value=1, max_value=48),
+    level=st.integers(min_value=0, max_value=3),
+    dims=st.sampled_from([(640, 480), (320, 240), (160, 120)]),
+    payloads=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_columnar_batches_deliver_per_item_stream(
+    frames, level, dims, payloads
+):
+    reference = run_local(1, frames, level, dims, payloads)
+    for batch_max in BATCH_SIZES[1:]:
+        got = run_local(batch_max, frames, level, dims, payloads)
+        assert got == reference, f"batch_max={batch_max} diverged"
+
+
+def run_netpipe(batch_max, frames=60, level=1):
+    scheduler = Scheduler(clock=VirtualClock())
+    network = Network(scheduler, seed=5)
+    network.add_link("p", "c", bandwidth_bps=1_000_000_000, delay=0.001)
+    producer, consumer = Node("p", network), Node("c", network)
+    source = producer.place(
+        MpegFileSource("prop.mpg", frames=frames, payloads=True)
+    )
+    producer_side = source >> GreedyPump() >> PriorityDropFilter(level=level)
+    feeder = GreedyPump()
+    decoder = MpegDecoder(share_references=False)
+    resizer = Resizer(width=320, height=240)
+    display = consumer.place(VideoDisplay(input_spec=Typespec()))
+    consumer_side = Pipeline([feeder, decoder, resizer, display])
+    connect(feeder.out_port, decoder.in_port)
+    connect(decoder.out_port, resizer.in_port)
+    connect(resizer.out_port, display.in_port)
+    pipe = RemoteBinder(network).bind(
+        producer_side, consumer_side, "p", "c",
+        flow="video", protocol="stream",
+    )
+    engine = Engine(
+        pipe, scheduler=scheduler, batch_max=batch_max
+    ).attach_network(network)
+    engine.start()
+    engine.run(until=120.0)
+    engine.stop()
+    engine.run(max_steps=500_000)
+    assert_flow(engine)
+    sender = next(
+        c for c in pipe.components if c.name.startswith("netpipe-send")
+    )
+    return frame_signature(display), sender
+
+
+def test_netpipe_columnar_stream_matches_per_item():
+    reference, _ = run_netpipe(1)
+    for batch_max in BATCH_SIZES[1:]:
+        got, sender = run_netpipe(batch_max)
+        assert got == reference, f"batch_max={batch_max} diverged"
+        # The batch path really coalesced: far fewer frames than items.
+        assert 0 < sender.stats["frames_out"] < len(reference)
+
+
+def test_netpipe_delivers_zero_copy_payload_views():
+    got, _ = run_netpipe(32)
+    assert got  # frames reached the display
+    _, display_payloads = zip(*[(s[0], s[6]) for s in got])
+    assert all(p is not None for p in display_payloads)
+
+
+def test_columnar_flow_invariants_under_exploration():
+    def build():
+        pipe, display = build_local(30, 1, (320, 240), True)
+        engine = Engine(pipe, batch_max=8)
+        engine.check_display = display
+        return engine
+
+    def check(engine):
+        assert_flow(engine)
+        assert len(engine.check_display.frames) == 10  # 30 minus 20 B
+
+    result = explore(build, seeds=12, check=check)
+    assert result.ok, result.summary()
+
+
+# -- audio mixer --------------------------------------------------------------
+
+
+int16s = st.lists(
+    st.integers(min_value=-32768, max_value=32767), min_size=0, max_size=64
+)
+
+
+@given(
+    samples=int16s,
+    gain=st.tuples(
+        st.integers(min_value=-4, max_value=8),
+        st.integers(min_value=1, max_value=5),
+    ),
+    tail=st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_mixer_backends_and_paths_agree(samples, gain, tail):
+    payload = struct.pack(f"<{len(samples)}h", *samples)
+    if tail:
+        payload += b"\x7f"  # odd trailing byte passes through verbatim
+    size = len(payload)
+
+    def mix_per_item(np_backend):
+        arrays.np = np_backend
+        mixer = AudioMixer(gain_num=gain[0], gain_den=gain[1])
+        sample = AudioSample(
+            seq=0, pts=0.0, duration=0.02, size=size, payload=payload
+        )
+        return bytes(mixer.convert(sample).payload)
+
+    def mix_batch(np_backend):
+        arrays.np = np_backend
+        mixer = AudioMixer(gain_num=gain[0], gain_den=gain[1])
+        batch = SampleBatch.from_samples([
+            AudioSample(
+                seq=0, pts=0.0, duration=0.02, size=size, payload=payload
+            )
+        ])
+        out = mixer.convert_many(batch)
+        view = out.payload_view(0)
+        return b"" if view is None else bytes(view)
+
+    expected = b"".join(
+        struct.pack(
+            "<h", max(-32768, min(32767, (s * gain[0]) // gain[1]))
+        )
+        for s in samples
+    )
+    if tail:
+        expected += b"\x7f"
+
+    saved = arrays.np
+    try:
+        results = [mix_per_item(None), mix_batch(None)]
+        if arrays._numpy is not None:
+            results += [
+                mix_per_item(arrays._numpy), mix_batch(arrays._numpy)
+            ]
+    finally:
+        arrays.np = saved
+    assert all(r == expected for r in results), results
+
+
+def _audio_stream(batch):
+    from repro.core.events import EOS
+    from repro.media import AudioSource
+
+    source = AudioSource(blocks=10, payloads=True)
+    out = []
+    if batch:
+        while True:
+            run = source.pull_many(4)
+            if isinstance(run, list) and run and run[-1] is EOS:
+                break
+            out.extend(run.to_samples())
+    else:
+        while True:
+            item = source.pull()
+            if item is EOS:
+                break
+            out.append(item)
+    return [
+        (s.seq, s.pts, s.duration, s.size, bytes(s.payload)) for s in out
+    ]
+
+
+def test_audio_source_batch_matches_per_item():
+    assert _audio_stream(batch=False) == _audio_stream(batch=True)
