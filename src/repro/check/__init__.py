@@ -15,6 +15,10 @@ package is that toolkit:
   accounting, and FIFO assertions over pipeline stats.
 * :mod:`~repro.check.faults` — seeded plans of thread crashes, message
   drop/delay/reorder, and link flaps.
+* :mod:`~repro.check.refine` — mechanized refinement: certify that a
+  transformed pipeline's sink streams are observably identical to its
+  original's, with machine-readable certificates and minimized,
+  replayable counterexamples.
 
 All of it rides hook points that cost a single ``is None`` check when
 unused, so production runs (and the golden traces) are unaffected.
@@ -37,7 +41,9 @@ from repro.check.explorer import (
     SeededChooser,
     SeedRun,
     explore,
+    minimize_failure,
     replay,
+    run_once,
     trace_hash,
 )
 from repro.check.faults import (
@@ -51,20 +57,37 @@ from repro.check.faults import (
 from repro.check.invariants import (
     FlowIssue,
     FlowReport,
+    SinkTaps,
     assert_fifo,
     assert_flow,
     assert_no_duplicates,
+    channel_name,
     check_conservation,
     check_flow,
     check_network,
     declare_lossy,
+    install_sink_taps,
+    is_lossy,
+    loss_reason,
     record_tap,
 )
-from repro.errors import InjectedFault, InvariantViolation
+from repro.check.refine import (
+    Divergence,
+    PipelineUnderTest,
+    Projection,
+    RefinementCertificate,
+    WitnessRun,
+    certify_restructure,
+    check_refinement,
+    lossy_channels,
+    replay_certificate,
+)
+from repro.errors import InjectedFault, InvariantViolation, RefinementViolation
 
 __all__ = [
     "CrashThread",
     "DeadlockReport",
+    "Divergence",
     "ExplorationResult",
     "FaultPlan",
     "FlowIssue",
@@ -73,27 +96,43 @@ __all__ = [
     "InvariantViolation",
     "LinkFlap",
     "MessageFaults",
+    "PipelineUnderTest",
+    "Projection",
+    "RefinementCertificate",
+    "RefinementViolation",
     "ReplayChooser",
     "SeedRun",
     "SeededChooser",
+    "SinkTaps",
+    "WitnessRun",
     "assert_fifo",
     "assert_flow",
     "assert_no_deadlock",
     "assert_no_duplicates",
     "blocked_waits",
+    "certify_restructure",
+    "channel_name",
     "check_conservation",
     "check_flow",
     "check_network",
+    "check_refinement",
     "crash_one_pump",
     "declare_lossy",
     "describe_match",
     "detect",
     "explore",
     "find_cycles",
+    "install_sink_taps",
+    "is_lossy",
+    "loss_reason",
+    "lossy_channels",
     "message_chaos",
+    "minimize_failure",
     "receive_from",
     "record_tap",
     "replay",
+    "replay_certificate",
+    "run_once",
     "run_watched",
     "trace_hash",
     "waitfor_graph",

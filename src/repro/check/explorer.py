@@ -325,6 +325,47 @@ def replay(
     )
 
 
+def run_once(
+    build: Callable[[], Any],
+    chooser,
+    *,
+    drive: Callable[[Any], None] | None = None,
+    check: Callable[[Any], None] | None = None,
+    seed: int | None = None,
+    trace_tail: int = 40,
+) -> tuple[SeedRun, str]:
+    """Run ``build()``'s program once under an explicit tie-break chooser.
+
+    The single-run primitive behind :func:`explore` / :func:`replay`,
+    public so higher-level drivers (the refinement checker) can run their
+    own seed loops while sharing the choice recording, trace hashing and
+    failure formatting.  ``chooser`` is any ``choice_hook`` callable with
+    a ``choices`` list attribute (:class:`SeededChooser`,
+    :class:`ReplayChooser`, or a custom hook).
+    """
+    return _run_once(build, chooser, drive, check, seed, trace_tail)
+
+
+def minimize_failure(
+    build: Callable[[], Any],
+    choices: Sequence[int],
+    *,
+    drive: Callable[[Any], None] | None = None,
+    check: Callable[[Any], None] | None = None,
+    budget: int = 64,
+    trace_tail: int = 40,
+) -> tuple[list[int], str]:
+    """Shrink a failing choice sequence to a minimized deterministic repro.
+
+    Public wrapper over the ddmin machinery :func:`explore` uses: binary-
+    search the shortest failing prefix, zero residual non-default choices,
+    drop trailing defaults.  Returns the minimized sequence and the
+    formatted error + trace excerpt of the minimized failing replay (empty
+    if the given sequence did not reproduce a failure).
+    """
+    return _minimize(build, drive, check, list(choices), budget, trace_tail)
+
+
 def _minimize(
     build,
     drive,

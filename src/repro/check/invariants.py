@@ -29,6 +29,8 @@ the schedule explorer's ``check=`` hook.
 
 from __future__ import annotations
 
+import re
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -55,6 +57,11 @@ def is_lossy(component) -> bool:
     return bool(getattr(component, "declares_drops", False))
 
 
+def loss_reason(component) -> str:
+    """The declared reason a component may lose items."""
+    return str(getattr(component, "loss_reason", "declared lossy"))
+
+
 @dataclass
 class FlowIssue:
     """One violated invariant, with the arithmetic that shows it."""
@@ -74,6 +81,10 @@ class FlowReport:
     issues: list[FlowIssue] = field(default_factory=list)
     checked: list[str] = field(default_factory=list)
     skipped: dict[str, str] = field(default_factory=dict)
+    #: Declared-lossy components that were checked (duplication only),
+    #: by name -> declared reason.  Surfaced in :meth:`format` so a
+    #: refinement or conservation failure names every sanctioned loss.
+    lossy: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,10 +94,17 @@ class FlowReport:
         if self.ok:
             return (
                 f"flow invariants hold ({len(self.checked)} components "
-                f"checked, {len(self.skipped)} exempt)"
+                f"checked, {len(self.skipped)} exempt, "
+                f"{len(self.lossy)} declared lossy)"
             )
         lines = [f"{len(self.issues)} flow-invariant violation(s):"]
         lines.extend(f"  {issue}" for issue in self.issues)
+        if self.lossy:
+            lines.append("declared-lossy components in this pipeline:")
+            lines.extend(
+                f"  {name}: {reason}"
+                for name, reason in sorted(self.lossy.items())
+            )
         return "\n".join(lines)
 
     def raise_if_failed(self) -> None:
@@ -109,19 +127,24 @@ def _conservation_issues(
     accounted = items_out + retained
 
     if accounted > items_in:
-        yield FlowIssue(
-            name,
-            "duplication",
+        detail = (
             f"items_out({items_out}) + retained({retained}) > "
-            f"items_in({items_in})",
+            f"items_in({items_in})"
         )
+        if is_lossy(component):
+            detail += (
+                f" [declared lossy: {loss_reason(component)} — "
+                "loss is sanctioned, duplication never is]"
+            )
+        yield FlowIssue(name, "duplication", detail)
     elif not is_lossy(component) and accounted < items_in - drops:
         yield FlowIssue(
             name,
             "loss",
             f"items_out({items_out}) + retained({retained}) < "
             f"items_in({items_in}) - declared drops({drops}); "
-            "undeclared loss",
+            "undeclared loss (count it in a drops/dropped* stat or mark "
+            "the component with declare_lossy(component, reason))",
         )
 
 
@@ -154,6 +177,8 @@ def check_conservation(engine) -> FlowReport:
         if getattr(component, "conserving", None) is False:
             report.skipped[component.name] = "non-1:1 arity"
             continue
+        if is_lossy(component):
+            report.lossy[component.name] = loss_reason(component)
         report.checked.append(component.name)
         report.issues.extend(_conservation_issues(component, stats))
 
@@ -289,3 +314,106 @@ def assert_no_duplicates(
                 f"{pipe}: duplicate item {value!r} at position {position}"
             )
         seen.add(value)
+
+
+# ---------------------------------------------------------------------------
+# Sink taps: observe every sink of a pipeline without rewiring it
+# ---------------------------------------------------------------------------
+
+_AUTO_NUMBERED = re.compile(r"^(.*)-(\d+)$")
+
+
+def channel_name(component_name: str, per_stem: "Counter") -> str:
+    """Stable cross-build channel name for a sink.
+
+    Auto-numbered component names (``collect-sink-12``) draw from
+    process-global counters, so the absolute number differs between two
+    builds of the same program.  Mapping each to ``stem#k`` by order of
+    appearance makes channels comparable across independently built
+    pipelines (the same trick :func:`repro.check.explorer.trace_hash`
+    uses for whole traces).
+    """
+    hit = _AUTO_NUMBERED.match(component_name)
+    stem = hit.group(1) if hit is not None else component_name
+    name = f"{stem}#{per_stem[stem]}"
+    per_stem[stem] += 1
+    return name
+
+
+def _is_sink(component) -> bool:
+    return (
+        bool(component.in_ports())
+        and not component.out_ports()
+        # Netpipe senders terminate a sub-pipeline but are transport, not
+        # observation points; the stream continues on the receiver side.
+        and getattr(component, "protocol", None) is None
+    )
+
+
+class SinkTaps:
+    """Recorded sink streams of one program, keyed by stable channel name.
+
+    Generalizes :func:`record_tap` from "splice an identity filter where
+    you want to look" to "observe *every* sink of a wired pipeline": each
+    sink's ``push`` (passive) or ``consume`` (active) entry is wrapped in
+    place — no rewiring, no extra components, so the schedule and the
+    trace are exactly those of the untapped program.
+    """
+
+    def __init__(self):
+        #: channel name -> items observed at that sink, in arrival order.
+        self.streams: dict[str, list] = {}
+        #: channel name -> the tapped component (for lossy-path walks).
+        self.sinks: dict[str, Any] = {}
+
+    def channels(self) -> list[str]:
+        return list(self.streams)
+
+
+def install_sink_taps(program) -> SinkTaps:
+    """Wrap every sink of ``program`` (an Engine, or anything with a
+    ``.pipeline``) so its consumed items are recorded per channel.
+
+    Must be installed before the engine compiles its flow walkers (i.e.
+    right after ``build()`` in an explorer-style harness); if the engine
+    is already set up, the walkers are recompiled so the bound entries
+    see the taps.
+    """
+    taps = SinkTaps()
+    pipeline = getattr(program, "pipeline", program)
+    per_stem: Counter = Counter()
+    for component in pipeline.components:
+        if not _is_sink(component):
+            continue
+        channel = channel_name(component.name, per_stem)
+        records: list = []
+        taps.streams[channel] = records
+        taps.sinks[channel] = component
+        _wrap_sink_entry(component, records)
+    if getattr(program, "_setup_done", False):
+        # Compiled walkers bound the un-tapped entries; rebuild them.
+        program._compile_walkers()
+    return taps
+
+
+def _wrap_sink_entry(component, records: list) -> None:
+    push = getattr(component, "push", None)
+    if callable(push):
+        def tapped_push(item, _push=push, _records=records):
+            _records.append(item)
+            _push(item)
+
+        component.push = tapped_push
+        return
+    consume = getattr(component, "consume", None)
+    if callable(consume):
+        def tapped_consume(item, _consume=consume, _records=records):
+            _records.append(item)
+            _consume(item)
+
+        component.consume = tapped_consume
+        return
+    raise InvariantViolation(
+        f"sink {component.name!r} exposes neither push nor consume; "
+        "cannot tap it"
+    )

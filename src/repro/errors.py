@@ -85,6 +85,18 @@ class InvariantViolation(RuntimeFault, AssertionError):
     """
 
 
+class RefinementViolation(InvariantViolation):
+    """A transformed pipeline produced a sink stream its original cannot.
+
+    Raised by :func:`repro.check.refine.check_refinement` when some
+    explored schedule of the concrete pipeline yields a projected sink
+    sequence that no witness schedule of the abstract pipeline reproduces
+    (exactly for conserving channels, as a subsequence for declared-lossy
+    ones).  The message names the channel, the first divergent sink index
+    and — for lossy channels — the declared loss reasons.
+    """
+
+
 class ChannelClosed(RuntimeFault):
     """A push or pull was attempted on a terminated pipeline section."""
 

@@ -28,7 +28,7 @@ Grammar (one statement per line; ``#`` starts a comment)::
 
 from repro.lang.parser import LangError, parse
 from repro.lang.registry import Registry, default_registry
-from repro.lang.builder import BuildResult, build
+from repro.lang.builder import BuildResult, build, engine_builder
 
 __all__ = [
     "BuildResult",
@@ -36,5 +36,6 @@ __all__ = [
     "Registry",
     "build",
     "default_registry",
+    "engine_builder",
     "parse",
 ]

@@ -32,6 +32,11 @@ class MpegDecoder(Consumer):
                            props.FORMAT: "mpeg"})
     output_props = {props.FORMAT: "raw"}
     events_handled = frozenset({"frame-release"})
+    # ``skipped_undecodable`` is loss, but not via a drops/dropped* stat —
+    # declare it so flow invariants and the refinement checker sanction
+    # (and report) it instead of flagging undeclared loss.
+    declares_drops = True
+    loss_reason = "skips frames whose GOP reference frames were lost"
 
     def __init__(
         self,

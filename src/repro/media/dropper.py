@@ -33,6 +33,10 @@ class PriorityDropFilter(Consumer):
 
     input_spec = Typespec({props.ITEM_TYPE: "video-frame"})
     events_handled = frozenset({"set-drop-level"})
+    # Drops are exactly counted in dropped_* stats (conservation stays an
+    # exact check — no ``declares_drops`` blanket waiver); the reason is
+    # declared so refinement failures and lossy-channel reports name it.
+    loss_reason = "sheds B/P frames per its commanded drop level"
 
     def __init__(self, level: int = 0, name: str | None = None):
         super().__init__(name)

@@ -813,6 +813,10 @@ class Engine:
         #: Observability front-end (repro.obs.Telemetry) when attached;
         #: None keeps every hook in the runtime inert.
         self._telemetry: Any = None
+        #: Committed live restructurings (repro.runtime.restructure
+        #: Replacement records), in application order — the audit trail
+        #: refinement certificates archive.
+        self.restructure_log: list[Any] = []
 
     def add_service(self, service: Any) -> None:
         """Register an auxiliary service whose ``stop()`` is called when the

@@ -16,6 +16,7 @@ we, explicitly).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.component import Component
@@ -27,7 +28,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.engine import Engine
 
 
-def replace_component(engine: "Engine", old: Component, new: Component) -> None:
+@dataclass(frozen=True)
+class Replacement:
+    """One committed restructuring, as recorded in ``engine.restructure_log``.
+
+    The log is the audit trail the refinement checker stores in its
+    certificates (:func:`repro.check.refine.certify_restructure`): which
+    stage was swapped, in which section and mode, at what virtual time.
+    """
+
+    old: str
+    new: str
+    section: str
+    mode: str
+    virtual_time: float
+
+    def __str__(self) -> str:
+        return (
+            f"replace {self.old!r} -> {self.new!r} in section "
+            f"{self.section!r} ({self.mode} mode) at t={self.virtual_time}"
+        )
+
+
+def replace_component(
+    engine: "Engine", old: Component, new: Component
+) -> Replacement:
     """Replace ``old`` with ``new`` in a set-up (ideally paused) pipeline.
 
     Checks performed before anything is mutated:
@@ -39,9 +64,10 @@ def replace_component(engine: "Engine", old: Component, new: Component) -> None:
     * the flow Typespecs still check out with ``new`` in place.
 
     On success the ports are rewired, the allocation plan and runtime
-    wiring are updated, and ``new`` handles all subsequent items.  Raises
-    :class:`CompositionError` / :class:`RuntimeFault` with nothing changed
-    otherwise.
+    wiring are updated, ``new`` handles all subsequent items, and the swap
+    is appended to ``engine.restructure_log`` as a :class:`Replacement`
+    (also returned).  Raises :class:`CompositionError` /
+    :class:`RuntimeFault` with nothing changed otherwise.
     """
     engine.setup()
     stage, section, node = _locate(engine, old)
@@ -84,6 +110,16 @@ def replace_component(engine: "Engine", old: Component, new: Component) -> None:
     # The compiled flow walkers hold the old component's bound methods;
     # rebuild them from the mutated plan.
     engine._compile_walkers()
+
+    record = Replacement(
+        old=old.name,
+        new=new.name,
+        section=section.origin.name,
+        mode=str(stage.mode),
+        virtual_time=engine.scheduler.now(),
+    )
+    engine.restructure_log.append(record)
+    return record
 
 
 def _locate(engine: "Engine", old: Component):

@@ -1,0 +1,87 @@
+"""Replay determinism regression for refinement certificates.
+
+A certificate archived by CI must stay a complete repro: its stored seeds
+and choice lists must reproduce the identical ``trace_hash`` when
+re-run — across every transmission policy it certified (``batch_max``
+1/8/32) and under both media array backends (numpy columns and the pure
+``array``/list fallback), which must not influence scheduling at all.
+"""
+
+import pytest
+
+from repro.check import (
+    Projection,
+    RefinementCertificate,
+    check_refinement,
+    replay_certificate,
+)
+from repro.check.explorer import SeededChooser, run_once
+from repro.lang import engine_builder
+from repro.media import arrays
+
+MEDIA_SRC = (
+    "mpeg_file(frames=40) >> greedy_pump >> decoder >> "
+    "buffer(8) >> clocked_pump(30) >> collect"
+)
+
+BATCH_MAXES = [1, 8, 32]
+
+
+def certify(batch_max: int, seeds: int = 4) -> RefinementCertificate:
+    cert = check_refinement(
+        engine_builder(MEDIA_SRC),
+        engine_builder(MEDIA_SRC, batch_max=batch_max),
+        seeds=seeds, witness_seeds=2,
+        # Frames carry the decoder's auto-numbered name in ``owner``,
+        # which differs between independent builds; the stream identity
+        # under comparison is the frame sequence number.
+        projection=Projection.by_attr("seq"),
+    )
+    assert cert.ok, cert.summary()
+    return cert
+
+
+@pytest.mark.parametrize("batch_max", BATCH_MAXES)
+def test_certificate_replays_to_identical_trace_hash(batch_max):
+    cert = certify(batch_max)
+    report = replay_certificate(cert, engine_builder(MEDIA_SRC,
+                                                     batch_max=batch_max))
+    assert report["ok"], report
+    assert report["matched"] == len(cert.concrete["runs"])
+
+
+@pytest.mark.parametrize("batch_max", BATCH_MAXES)
+def test_certificate_replays_identically_on_pure_backend(
+    batch_max, monkeypatch
+):
+    # Certify under the current (numpy, when installed) backend ...
+    cert = certify(batch_max)
+    # ... then replay every stored schedule with the numpy column path
+    # disabled: frame payloads change representation, the schedule and
+    # hence every trace hash must not.
+    monkeypatch.setattr(arrays, "np", None)
+    report = replay_certificate(cert, engine_builder(MEDIA_SRC,
+                                                     batch_max=batch_max))
+    assert report["ok"], report
+
+
+def test_seeded_chooser_is_deterministic_per_seed():
+    # The determinism the certificates lean on, stated directly: one seed,
+    # one schedule, one trace hash — run twice.
+    build = engine_builder(MEDIA_SRC, batch_max=8)
+    hashes = [
+        run_once(build, SeededChooser(13), seed=13)[0].trace_hash
+        for _ in range(2)
+    ]
+    assert hashes[0] == hashes[1]
+
+
+def test_batch_maxes_yield_distinct_but_certified_schedules():
+    # The three policies genuinely change the schedule (different trace
+    # hashes for the same seed) while every one of them is certified
+    # against the same per-item original — the PR 4 claim, mechanized.
+    per_seed_hashes = set()
+    for batch_max in BATCH_MAXES:
+        cert = certify(batch_max)
+        per_seed_hashes.add(cert.concrete["runs"][0]["trace_hash"])
+    assert len(per_seed_hashes) > 1

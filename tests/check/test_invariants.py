@@ -177,6 +177,106 @@ def test_assert_no_duplicates_rejects_copies():
     assert_no_duplicates([1, 2, 3])
 
 
+def test_undeclared_loss_message_explains_how_to_declare():
+    _, report = run_and_check(
+        IterSource(range(21)), SilentlyLossy(name="leaky"), GreedyPump(),
+        CollectSink(),
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        report.raise_if_failed()
+    message = str(excinfo.value)
+    assert "leaky" in message
+    assert "undeclared loss" in message
+    assert "declare_lossy" in message
+
+
+def test_violation_message_surfaces_declared_lossy_reasons():
+    # Satellite fix: a failing report names every declared-lossy component
+    # and its reason, so refinement failures are diagnosable.
+    _, report = run_and_check(
+        IterSource(range(10)),
+        declare_lossy(Duplicator(name="dup"), "decimates on overload"),
+        GreedyPump(),
+        CollectSink(),
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        report.raise_if_failed()
+    message = str(excinfo.value)
+    assert "dup" in message
+    assert "decimates on overload" in message
+    assert "duplication never is" in message
+    assert report.lossy == {"dup": "decimates on overload"}
+
+
+def test_ok_report_counts_declared_lossy_components():
+    _, report = run_and_check(
+        IterSource(range(21)),
+        declare_lossy(SilentlyLossy(), "drops every third item"),
+        GreedyPump(),
+        CollectSink(),
+    )
+    assert report.ok
+    assert "1 declared lossy" in report.format()
+
+
+# ---------------------------------------------------------------------------
+# Sink taps
+# ---------------------------------------------------------------------------
+
+
+def test_install_sink_taps_records_streams_without_changing_the_run():
+    from repro.check import install_sink_taps, trace_hash
+
+    def build():
+        return Engine(
+            pipeline(
+                IterSource(range(12)), GreedyPump(), CollectSink(),
+            ),
+            trace=True,
+        )
+
+    untapped = build()
+    untapped.run_to_completion(max_steps=100_000)
+
+    tapped = build()
+    taps = install_sink_taps(tapped)
+    tapped.run_to_completion(max_steps=100_000)
+
+    assert taps.channels() == ["collect-sink#0"]
+    assert taps.streams["collect-sink#0"] == list(range(12))
+    # The tap wraps the entry in place — no rewiring, no new components —
+    # so the schedule (hence the trace) is exactly the untapped one's.
+    assert trace_hash(tapped.scheduler._trace) == trace_hash(
+        untapped.scheduler._trace
+    )
+
+
+def test_sink_taps_normalize_auto_numbered_names_across_builds():
+    from repro.check import install_sink_taps
+
+    def channels():
+        engine = Engine(
+            pipeline(IterSource(range(3)), GreedyPump(), CollectSink())
+        )
+        return install_sink_taps(engine).channels()
+
+    # Two independent builds draw different absolute auto-numbers but
+    # must yield identical channel names.
+    assert channels() == channels()
+
+
+def test_sink_taps_after_setup_recompile_walkers():
+    from repro.check import install_sink_taps
+
+    engine = Engine(
+        pipeline(IterSource(range(5)), GreedyPump(), CollectSink())
+    )
+    engine.setup()  # walkers already bound the un-tapped push
+    taps = install_sink_taps(engine)
+    engine.run_to_completion(max_steps=100_000)
+    assert taps.streams["collect-sink#0"] == list(range(5))
+
+
 def test_check_network_link_accounting():
     from repro.mbt.clock import VirtualClock
     from repro.mbt.scheduler import Scheduler
