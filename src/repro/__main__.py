@@ -5,15 +5,23 @@
     python -m repro describe "counting(limit=5) >> greedy_pump >> collect"
     python -m repro run pipeline.ipc --until 10
     python -m repro run pipeline.ipc --metrics --trace-out trace.json
+    python -m repro run pipeline.ipc --until 5 --serve-metrics 0 --serve-for 2
+    python -m repro top pipeline.ipc --until 5
     python -m repro timeline pipeline.ipc --until 5
     python -m repro components
 
 ``describe`` prints the thread/coroutine allocation the middleware chose;
 ``run`` executes the pipeline on the virtual clock and prints statistics —
 with ``--metrics`` it attaches the observability layer and prints the
-Prometheus exposition, with ``--trace-out``/``--events-out`` it exports a
-Chrome trace-event JSON / JSONL event log; ``timeline`` runs the pipeline
-traced and prints the text Gantt chart of which thread held the CPU;
+Prometheus exposition, with ``--flow-sample N`` it attaches the causal
+flow tracer (1-in-N items), with ``--trace-out``/``--events-out``/
+``--flow-out`` it exports a Chrome trace-event JSON (flow arrows
+included when tracing is on) / JSONL event log / JSONL flow-trace log,
+and with ``--serve-metrics PORT`` it serves the Prometheus exposition
+plus JSON flow/SLO snapshots over HTTP after the run; ``top`` runs the
+pipeline behind a live top(1)-style dashboard (curses on a terminal,
+plain frames elsewhere); ``timeline`` runs the pipeline traced and
+prints the text Gantt chart of which thread held the CPU;
 ``components`` lists the factory names usable in descriptions.
 """
 
@@ -46,8 +54,8 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_engine(args: argparse.Namespace, trace: bool = False):
-    """Build, telemeter (if asked) and run the described pipeline."""
+def _build_engine(args: argparse.Namespace, trace: bool = False):
+    """Build the described pipeline and attach the requested telemetry."""
     result = build(_load_source(args.pipeline))
     want_trace = trace or getattr(args, "trace_out", None) is not None \
         or getattr(args, "events_out", None) is not None
@@ -59,25 +67,64 @@ def _run_engine(args: argparse.Namespace, trace: bool = False):
         batch_max=getattr(args, "batch_max", None),
     )
     telemetry = None
-    if getattr(args, "metrics", False):
+    serve = getattr(args, "serve_metrics", None) is not None
+    top = getattr(args, "top", False)
+    if getattr(args, "metrics", False) or serve or top:
         from repro.obs import Telemetry
 
         telemetry = Telemetry().attach(engine)
+    tracer = None
+    flow_sample = getattr(args, "flow_sample", None)
+    if flow_sample is None and (
+        serve or top or getattr(args, "flow_out", None) is not None
+    ):
+        flow_sample = 1
+    if flow_sample is not None:
+        from repro.obs.flow import FlowTracer
+
+        tracer = FlowTracer(
+            sample_every=flow_sample,
+            registry=telemetry.registry if telemetry is not None else None,
+        ).attach(engine)
+    slo = None
+    if tracer is not None and (serve or getattr(args, "top", False)):
+        from repro.obs.slo import Objective, SloEngine
+
+        slo = SloEngine(
+            [
+                Objective(
+                    "e2e-latency", "latency_p99",
+                    target=getattr(args, "slo_latency", 0.1),
+                ),
+                Objective("delivery", "delivered_fraction", target=0.99),
+            ],
+            registry=telemetry.registry if telemetry is not None else None,
+        ).attach(tracer)
+    return engine, telemetry, tracer, slo
+
+
+def _run_engine(args: argparse.Namespace, trace: bool = False):
+    """Build, telemeter (if asked) and run the described pipeline."""
+    engine, telemetry, tracer, slo = _build_engine(args, trace=trace)
     engine.start()
     engine.run(until=args.until, max_steps=args.max_steps)
     if args.until is not None:
         engine.stop()
         engine.run(max_steps=args.max_steps or 1_000_000)
-    return engine, telemetry
+    if tracer is not None:
+        tracer.finalize_inflight()
+    return engine, telemetry, tracer, slo
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    engine, telemetry = _run_engine(args)
+    engine, telemetry, tracer, slo = _run_engine(args)
     print(engine.stats.summary())
     if args.trace_out is not None:
         from repro.obs import export_chrome_trace
 
-        document = export_chrome_trace(engine.scheduler, args.trace_out)
+        document = export_chrome_trace(
+            engine.scheduler, args.trace_out, flows=tracer
+        )
         print(
             f"wrote {len(document['traceEvents'])} trace events "
             f"to {args.trace_out}"
@@ -87,16 +134,81 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         count = export_jsonl(engine.scheduler, args.events_out)
         print(f"wrote {count} events to {args.events_out}")
-    if telemetry is not None:
+    if args.flow_out is not None and tracer is not None:
+        from repro.obs import export_flow_traces
+
+        count = export_flow_traces(tracer, args.flow_out)
+        print(f"wrote {count} flow traces to {args.flow_out}")
+    if telemetry is not None and getattr(args, "metrics", False):
         print()
         print(telemetry.prometheus(), end="")
+    if args.serve_metrics is not None:
+        from repro.obs.dashboard import MetricsServer
+
+        server = MetricsServer(
+            registry=telemetry.registry if telemetry is not None else None,
+            tracer=tracer,
+            slo=slo,
+            port=args.serve_metrics,
+        ).start()
+        print(f"serving metrics at {server.url} "
+              f"(/metrics, /flow, /slo)")
+        try:
+            import time
+
+            if args.serve_for is not None:
+                time.sleep(args.serve_for)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import Dashboard, render_top
+
+    args.top = True
+    engine, telemetry, tracer, slo = _build_engine(args)
+    engine.start()
+    horizon = args.until
+    interval = args.interval
+
+    state = {"t": 0.0}
+
+    def advance() -> bool:
+        state["t"] += interval
+        target = state["t"]
+        if horizon is not None and target >= horizon:
+            engine.run(until=horizon, max_steps=args.max_steps)
+            engine.stop()
+            engine.run(max_steps=args.max_steps or 1_000_000)
+            if tracer is not None:
+                tracer.finalize_inflight()
+            return False
+        engine.run(until=target, max_steps=args.max_steps)
+        return not engine.completed
+
+    def render() -> str:
+        return render_top(
+            registry=telemetry.registry if telemetry is not None else None,
+            tracer=tracer,
+            slo=slo,
+            engine=engine,
+        )
+
+    dashboard = Dashboard(render, advance=advance, interval=interval)
+    dashboard.run(frames=args.frames, plain=args.plain)
     return 0
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
     from repro.mbt.tracing import summarize, timeline
 
-    engine, _ = _run_engine(args, trace=True)
+    engine, _, _, _ = _run_engine(args, trace=True)
     print(timeline(engine.scheduler, width=args.width))
     print()
     print(summarize(engine.scheduler))
@@ -141,10 +253,45 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--metrics", action="store_true",
                      help="attach telemetry; print Prometheus exposition")
     run.add_argument("--trace-out", default=None, metavar="FILE",
-                     help="write a Chrome trace-event JSON file")
+                     help="write a Chrome trace-event JSON file "
+                          "(with flow arrows when tracing is on)")
     run.add_argument("--events-out", default=None, metavar="FILE",
                      help="write the scheduler event log as JSONL")
+    run.add_argument("--flow-out", default=None, metavar="FILE",
+                     help="write finished flow traces as JSONL")
+    run.add_argument("--flow-sample", type=int, default=None, metavar="N",
+                     help="attach causal flow tracing, sampling 1-in-N "
+                          "source items")
+    run.add_argument("--serve-metrics", type=int, default=None,
+                     metavar="PORT",
+                     help="after the run, serve /metrics, /flow and /slo "
+                          "over HTTP (0 = pick a free port)")
+    run.add_argument("--serve-for", type=float, default=None,
+                     metavar="SECONDS",
+                     help="stop the metrics server after this long "
+                          "(default: serve until interrupted)")
+    run.add_argument("--slo-latency", type=float, default=0.1,
+                     metavar="SECONDS",
+                     help="p99 end-to-end latency objective used by the "
+                          "built-in SLOs (default 0.1)")
     run.set_defaults(handler=cmd_run)
+
+    top = commands.add_parser(
+        "top", help="run a description behind a live dashboard"
+    )
+    _add_run_options(top)
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="virtual seconds advanced per frame")
+    top.add_argument("--frames", type=int, default=None,
+                     help="stop after N frames (default: run to the end)")
+    top.add_argument("--plain", action="store_true",
+                     help="print frames instead of the curses screen")
+    top.add_argument("--flow-sample", type=int, default=None, metavar="N",
+                     help="flow-trace sampling rate (default: every item)")
+    top.add_argument("--slo-latency", type=float, default=0.1,
+                     metavar="SECONDS",
+                     help="p99 end-to-end latency objective (default 0.1)")
+    top.set_defaults(handler=cmd_top)
 
     timeline_cmd = commands.add_parser(
         "timeline", help="run traced and print the thread timeline"

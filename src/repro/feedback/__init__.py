@@ -28,6 +28,7 @@ from repro.feedback.sensors import (
     MetricSensor,
     RateSensor,
     Sensor,
+    SloBurnSensor,
 )
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "PumpRateActuator",
     "RateSensor",
     "Sensor",
+    "SloBurnSensor",
     "StepController",
 ]

@@ -51,6 +51,14 @@ _custom_decoders: dict[str, Callable[[dict], Any]] = {}
 #: First byte of a raw columnar chunk; values below this are TLV tags.
 RUN_WIRE_BASE = 0x20
 
+#: First byte of a trace-context side-chunk (repro.obs.flow).  Reserved
+#: out of the run-codec id space: a coalesced frame may carry one such
+#: chunk after its data chunks, holding the TLV-encoded flow contexts of
+#: the sampled items in the frame (the per-run context column for the
+#: 0x20/0x21 run codecs).  Flow-aware receivers strip it before the data
+#: chunks reach the unmarshaller.
+FLOW_CHUNK_MAGIC = 0x7F
+
 _run_encoders: dict[type, Callable[[Any], "EncodedRun"]] = {}
 _run_decoders: dict[int, tuple[Callable[[list], Any], Callable[[Any], Any]]] = {}
 
@@ -85,10 +93,10 @@ def register_run_codec(
     a single item from one chunk (the per-item fallback when a raw chunk
     meets an unbatched receiver).
     """
-    if not (RUN_WIRE_BASE <= wire_id <= 0x7F):
+    if not (RUN_WIRE_BASE <= wire_id < FLOW_CHUNK_MAGIC):
         raise MarshalError(
-            f"run wire id must be in [{RUN_WIRE_BASE:#x}, 0x7f], "
-            f"got {wire_id:#x}"
+            f"run wire id must be in [{RUN_WIRE_BASE:#x}, "
+            f"{FLOW_CHUNK_MAGIC - 1:#x}], got {wire_id:#x}"
         )
     _run_encoders[run_cls] = encode_run
     _run_decoders[wire_id] = (decode_many, decode_one)
@@ -104,6 +112,11 @@ def encode_item(item: Any) -> bytes:
 def decode_item(data) -> Any:
     """Decode wire bytes (or a memoryview of them) back to an item."""
     if len(data) and data[0] >= RUN_WIRE_BASE:
+        if data[0] == FLOW_CHUNK_MAGIC:
+            raise MarshalError(
+                "trace-context side-chunk reached the unmarshaller; "
+                "flow chunks must be stripped by the netpipe receiver"
+            )
         codec = _run_decoders.get(data[0])
         if codec is None:
             raise MarshalError(f"unknown wire tag {data[0]}")
@@ -323,6 +336,29 @@ class EncodedRun(ColumnarRun):
         """The whole buffer, ready for ``protocol.send_frame``."""
         return self._mv
 
+    def append_side_chunk(self, side: bytes) -> None:
+        """Append one extra chunk to the already-framed buffer in place.
+
+        Used by flow tracing to attach the trace-context side-chunk to a
+        zero-copy run without re-encoding it: the chunk count at offset 0
+        is patched and the length-prefixed side bytes are appended.  The
+        exported ``memoryview`` must be released around the resize; if
+        some other view still pins the buffer, fall back to a copy.
+        """
+        self._mv.release()
+        buffer = self.buffer
+        try:
+            buffer += struct.pack("!I", len(side))
+        except BufferError:
+            buffer = bytearray(buffer)
+            buffer += struct.pack("!I", len(side))
+            self.buffer = buffer
+        self.offsets.append(len(buffer))
+        self.lengths.append(len(side))
+        buffer += side
+        struct.pack_into("!I", buffer, 0, len(self.offsets))
+        self._mv = memoryview(buffer)
+
 
 def encode_run(run: Any) -> EncodedRun | None:
     """Encode a ColumnarRun via its registered run codec, or None when no
@@ -374,6 +410,52 @@ def decode_batch_views(data) -> list[memoryview]:
             f"trailing garbage: consumed {offset} of {total} bytes"
         )
     return chunks
+
+
+# -- trace-context side-chunks (repro.obs.flow) --------------------------------
+
+
+def encode_flow_chunk(entries: list) -> bytes:
+    """Encode flow-trace entries into a side-chunk.
+
+    ``entries`` is a list of ``(run_index, wire_fields)`` tuples — the
+    positional index of the sampled item within the frame plus its
+    :meth:`~repro.obs.flow.TraceContext.to_wire` dict.  The body after
+    the :data:`FLOW_CHUNK_MAGIC` byte is ordinary TLV.
+    """
+    return bytes([FLOW_CHUNK_MAGIC]) + encode_item(
+        [tuple(entry) for entry in entries]
+    )
+
+
+def split_flow_chunk(chunks: list) -> tuple[list, list | None]:
+    """Split a decoded frame's chunks into (data chunks, flow entries).
+
+    The trace-context side-chunk, when present, is always the last chunk
+    of a frame.  Returns the entries decoded by :func:`encode_flow_chunk`
+    or ``None`` when the frame carries no flow chunk.
+    """
+    if not chunks:
+        return chunks, None
+    last = chunks[-1]
+    if (
+        not isinstance(last, (bytes, bytearray, memoryview))
+        or not len(last)
+        or last[0] != FLOW_CHUNK_MAGIC
+    ):
+        return chunks, None
+    return chunks[:-1], decode_item(last[1:])
+
+
+def append_frame_chunk(payload: bytes, side: bytes) -> bytes:
+    """Return ``payload`` (an :func:`encode_batch` frame) with one extra
+    length-prefixed chunk appended and the chunk count patched."""
+    (count,) = struct.unpack_from("!I", payload, 0)
+    out = bytearray(payload)
+    struct.pack_into("!I", out, 0, count + 1)
+    out += struct.pack("!I", len(side))
+    out += side
+    return bytes(out)
 
 
 class Codec:

@@ -24,7 +24,12 @@ from repro.core.polarity import Mode
 from repro.core.styles import Style
 from repro.core.typespec import Typespec, props
 from repro.errors import MarshalError, RemoteError
-from repro.net.marshal import EncodedRun, decode_batch_views, encode_batch
+from repro.net.marshal import (
+    EncodedRun,
+    append_frame_chunk,
+    decode_batch_views,
+    encode_batch,
+)
 from repro.net.network import Network
 from repro.net.protocols import DatagramProtocol, Protocol, StreamProtocol
 
@@ -36,6 +41,14 @@ class NetpipeSender(Component):
     style = Style.CONSUMER
     is_activity_origin = False
     input_spec = Typespec({props.FORMAT: "bytes"})
+
+    #: Marks this sink as a wire crossing for flow tracing: the traced
+    #: sink walker stages item contexts here (``_flow_staged``) instead
+    #: of finishing them, and the next send carries them as a
+    #: trace-context side-chunk.  Both stay None when tracing is off.
+    wire_sink = True
+    _flow = None
+    _flow_staged = None
 
     def __init__(self, protocol: Protocol, name: str | None = None):
         super().__init__(name)
@@ -51,6 +64,16 @@ class NetpipeSender(Component):
                 f"upstream (got {type(item).__name__})"
             )
         self.stats["bytes_in"] += len(item)
+        staged = self._flow_staged
+        if staged is not None:
+            self._flow_staged = None
+            side = self._flow.wire_chunk(staged, self.name)
+            if side is not None:
+                # Promote the single packet to a two-chunk frame so the
+                # context travels with its item.
+                self.stats["frames_out"] += 1
+                self.protocol.send_frame(encode_batch([item, side]))
+                return
         self.protocol.send(item)
 
     def push_many(self, items: list) -> None:
@@ -68,6 +91,12 @@ class NetpipeSender(Component):
         if isinstance(items, EncodedRun):
             self.stats["bytes_in"] += items.nbytes
             self.stats["frames_out"] += 1
+            staged = self._flow_staged
+            if staged is not None:
+                self._flow_staged = None
+                side = self._flow.wire_chunk(staged, self.name)
+                if side is not None:
+                    items.append_side_chunk(side)
             self.protocol.send_frame(items.frame_payload())
             return
         total = 0
@@ -80,7 +109,14 @@ class NetpipeSender(Component):
             total += len(item)
         self.stats["bytes_in"] += total
         self.stats["frames_out"] += 1
-        self.protocol.send_frame(encode_batch(items))
+        payload = encode_batch(items)
+        staged = self._flow_staged
+        if staged is not None:
+            self._flow_staged = None
+            side = self._flow.wire_chunk(staged, self.name)
+            if side is not None:
+                payload = append_frame_chunk(payload, side)
+        self.protocol.send_frame(payload)
 
     def on_eos(self) -> None:
         """Called by the runtime when EOS reaches this sink: forward the
@@ -133,6 +169,12 @@ class NetpipeReceiver(Component):
     _obs_now = None
     _obs_wait = None
     _obs_ts: deque | None = None
+
+    #: Flow tracer, when attached: arriving frames hand their chunks to
+    #: :meth:`~repro.obs.flow.FlowTracer.wire_arrival` so trace-context
+    #: side-chunks are stripped (and their traces reassembled) before the
+    #: data chunks enter the receive queue.
+    _flow = None
 
     def enable_wait_telemetry(self, now, histogram) -> None:
         """Record arrival-to-pull waits into ``histogram``; packets already
@@ -211,6 +253,8 @@ class NetpipeReceiver(Component):
         self._queue.append(payload)
         if self._obs_now is not None:
             self._obs_ts.append(self._obs_now())
+        if self._flow is not None:
+            self._flow.wire_arrival_plain(self)
         self.stats["items_in"] += 1
         self.stats["bytes_in"] += len(payload)
         if self._gate is not None:
@@ -227,6 +271,8 @@ class NetpipeReceiver(Component):
         raises a clear :class:`~repro.errors.MarshalError`.
         """
         chunks = decode_batch_views(payload)
+        if self._flow is not None:
+            chunks = self._flow.wire_arrival(self, chunks)
         self._queue.extend(chunks)
         self.stats["bytes_in"] += len(payload)
         if self._obs_now is not None:

@@ -24,12 +24,22 @@ Typical use::
 or from the CLI: ``python -m repro run --metrics --trace-out trace.json``.
 """
 
+from repro.obs.dashboard import Dashboard, MetricsServer, render_top
 from repro.obs.exporters import (
     chrome_trace,
     export_chrome_trace,
+    export_flow_traces,
     export_jsonl,
     jsonl_events,
+    jsonl_flow_traces,
     prometheus_text,
+)
+from repro.obs.flow import (
+    FlowTrace,
+    FlowTracer,
+    LineageStore,
+    TraceContext,
+    iter_finished,
 )
 from repro.obs.metrics import (
     Counter,
@@ -40,22 +50,35 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.sched import SchedulerProbe
+from repro.obs.slo import Objective, SloEngine
 from repro.obs.spans import Span, Telemetry
 
 __all__ = [
     "Counter",
     "DEFAULT_CAPACITY",
+    "Dashboard",
     "FlightRecorder",
+    "FlowTrace",
+    "FlowTracer",
     "Gauge",
     "Histogram",
+    "LineageStore",
     "MetricError",
     "MetricsRegistry",
+    "MetricsServer",
+    "Objective",
     "SchedulerProbe",
+    "SloEngine",
     "Span",
     "Telemetry",
+    "TraceContext",
     "chrome_trace",
     "export_chrome_trace",
+    "export_flow_traces",
     "export_jsonl",
+    "iter_finished",
     "jsonl_events",
+    "jsonl_flow_traces",
     "prometheus_text",
+    "render_top",
 ]

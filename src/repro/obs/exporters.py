@@ -1,22 +1,28 @@
 """Exporters: Chrome trace-event JSON, JSONL event logs, Prometheus text.
 
-Three serializations of what the middleware observed:
+Serializations of what the middleware observed:
 
 * :func:`chrome_trace` / :func:`export_chrome_trace` — the Trace Event
   Format understood by ``chrome://tracing`` and Perfetto: one track per
   MThread, a complete ("X") slice for every interval a thread held the
   CPU (from ``switch`` events), and instant events for dispatches,
   blocks, preemptions and crashes.  Virtual seconds are exported as
-  microseconds, the format's native unit.
+  microseconds, the format's native unit.  Passing ``flows=`` overlays
+  causal flow traces (:mod:`repro.obs.flow`): one slice per trace
+  segment on the track of the component/thread that held the item, tied
+  together by cross-track flow arrows ("s"/"t"/"f" events) so the
+  viewer draws each item's journey end to end.
 * :func:`jsonl_events` / :func:`export_jsonl` — the raw scheduler event
   stream, one JSON object per line, for ad-hoc ``jq``-style analysis.
+* :func:`jsonl_flow_traces` / :func:`export_flow_traces` — finished flow
+  traces as JSON lines (one item lineage per line): the trace log.
 * :func:`prometheus_text` — Prometheus text exposition (version 0.0.4) of
   a :class:`~repro.obs.metrics.MetricsRegistry`: counters and gauges as
-  single samples, histograms as cumulative ``_bucket``/``_sum``/``_count``
-  series.  Only non-empty buckets are written (plus ``+Inf``), keeping the
-  page proportional to what was actually observed.
+  single samples, histograms as the full cumulative
+  ``_bucket``/``_sum``/``_count`` ladder (every bound plus ``+Inf``), the
+  stable le-series ``histogram_quantile`` needs.
 
-All three work on either a live :class:`~repro.mbt.scheduler.Scheduler`
+All work on either a live :class:`~repro.mbt.scheduler.Scheduler`
 (full trace or flight-recorder ring) or a plain list of trace tuples.
 """
 
@@ -57,13 +63,73 @@ class _TidMap:
         return self._ids.items()
 
 
+def _flow_traces_of(flows) -> list:
+    """Accept a FlowTracer, a LineageStore, or an iterable of FlowTrace;
+    return the finished traces."""
+    if hasattr(flows, "store") or hasattr(flows, "traces"):
+        from repro.obs.flow import iter_finished
+
+        return list(iter_finished(flows))
+    return [trace for trace in flows if trace.status != "in-flight"]
+
+
+def _flow_events(flows, tids: _TidMap, pid: int) -> list[dict[str, Any]]:
+    """Per-segment slices plus cross-track flow arrows for each trace.
+
+    Every segment becomes an "X" slice on the track of the place that
+    held the item (component name for wait/wire segments, thread name
+    for service segments); consecutive segments are linked by flow
+    events ("s" start, "t" step, "f" finish) sharing the trace id, which
+    the viewer renders as arrows across tracks.
+    """
+    events: list[dict[str, Any]] = []
+    for trace in _flow_traces_of(flows):
+        segments = trace.segments
+        if not segments:
+            continue
+        at = trace.birth_ts
+        last = len(segments) - 1
+        for index, (kind, name, duration) in enumerate(segments):
+            tid = tids.tid(name)
+            time_stamp = at * _SECONDS_TO_US
+            events.append({
+                "ph": "X", "ts": time_stamp,
+                "dur": max(0.0, duration) * _SECONDS_TO_US,
+                "pid": pid, "tid": tid,
+                "name": f"flow:{kind}", "cat": "flow",
+                "args": {
+                    "trace": trace.trace_id, "at": name,
+                    "status": trace.status,
+                },
+            })
+            if last > 0:  # a lone segment has nothing to arrow to
+                arrow: dict[str, Any] = {
+                    "ph": (
+                        "s" if index == 0
+                        else ("f" if index == last else "t")
+                    ),
+                    "ts": time_stamp, "pid": pid, "tid": tid,
+                    "name": "flow", "cat": "flow", "id": trace.trace_id,
+                }
+                if index == last:
+                    arrow["bp"] = "e"
+                events.append(arrow)
+            at += duration
+    return events
+
+
 def chrome_trace(
-    source, end: float | None = None, pid: int = 1
+    source, end: float | None = None, pid: int = 1, flows=None
 ) -> dict[str, Any]:
     """Build a Chrome trace-event document from a scheduler trace.
 
     ``end`` closes the final running slice (defaults to the scheduler's
     current time when ``source`` is a scheduler, else the last event time).
+    ``flows`` (a :class:`~repro.obs.flow.FlowTracer`, a
+    :class:`~repro.obs.flow.LineageStore`, or an iterable of
+    :class:`~repro.obs.flow.FlowTrace`) overlays item lineages as
+    per-segment slices linked by cross-track flow arrows; the default
+    (``None``) output is unchanged.
     """
     trace, now = _trace_of(source)
     if end is None:
@@ -105,6 +171,9 @@ def chrome_trace(
         elif kind == "terminate":
             instant(time_stamp, event[2], "terminate")
 
+    if flows is not None:
+        events.extend(_flow_events(flows, tids, pid))
+
     metadata = [
         {
             "ph": "M", "ts": 0, "pid": pid, "tid": tid,
@@ -120,10 +189,10 @@ def chrome_trace(
 
 
 def export_chrome_trace(
-    source, path: str | Path, end: float | None = None
+    source, path: str | Path, end: float | None = None, flows=None
 ) -> dict[str, Any]:
     """Write a Chrome trace-event JSON file; returns the document."""
-    document = chrome_trace(source, end=end)
+    document = chrome_trace(source, end=end, flows=flows)
     Path(path).write_text(json.dumps(document))
     return document
 
@@ -145,6 +214,24 @@ def _plain(value) -> bool:
 def export_jsonl(source, path: str | Path) -> int:
     """Write the event stream as a ``.jsonl`` file; returns line count."""
     lines = list(jsonl_events(source))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def jsonl_flow_traces(flows) -> Iterable[str]:
+    """Finished flow traces as JSON lines — the flow trace log.
+
+    ``flows`` is a :class:`~repro.obs.flow.FlowTracer`, a
+    :class:`~repro.obs.flow.LineageStore`, or an iterable of
+    :class:`~repro.obs.flow.FlowTrace`.
+    """
+    for trace in _flow_traces_of(flows):
+        yield json.dumps(trace.to_dict())
+
+
+def export_flow_traces(flows, path: str | Path) -> int:
+    """Write the flow trace log as a ``.jsonl`` file; returns line count."""
+    lines = list(jsonl_flow_traces(flows))
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
     return len(lines)
 

@@ -1,0 +1,986 @@
+"""Causal flow tracing: end-to-end item lineage across batches and netpipes.
+
+The span layer (:mod:`repro.obs.spans`) measures *boundaries* — each
+histogram sees one buffer or one pump in isolation.  This module adds the
+causal dimension: a sampled source item gets a :class:`TraceContext`
+(trace id, hop vector, birth timestamp) that travels **positionally**
+alongside the data, exactly like the span layer's parallel timestamp
+deques — the item itself carries nothing, and an engine without a
+:class:`FlowTracer` attached runs the identical instruction stream
+(golden scheduler traces pin that bit-for-bit).
+
+Mechanics
+---------
+* Every pump/coroutine thread owns a *carried* deque: one entry (a
+  context, or ``None`` for unsampled items) per data item currently in
+  the thread's hands mid-cycle.  Source walkers append (birth), sink
+  walkers pop (delivery), coroutine crossings move entries between
+  threads.
+* Every buffer-like boundary (``Buffer``, ``ZipBuffer``, netpipe
+  receiver) owns a *boundary record*: a deque mirroring the queue
+  contents.  ``BufferGate`` put/get hooks move entries between the
+  carried deques and the records, closing a ``service`` segment and
+  opening a ``wait`` segment (and vice versa).  Records self-heal
+  against the queue's fill level, so drop policies (DROP_OLD evicts the
+  oldest entry, DROP_NEW the incoming one) and ``flush`` events finalize
+  the evicted contexts as *dropped at that buffer*.
+* Batch walkers move **runs**: ``births(thread, k)`` / ``k``-entry
+  transfers keep the per-run cost O(1) dict lookups plus k deque ops —
+  no per-item allocation for unsampled entries (a ``None`` slot each).
+* A netpipe crossing serializes sampled contexts into a trace-context
+  side-chunk (first byte :data:`~repro.net.marshal.FLOW_CHUNK_MAGIC`)
+  appended to the coalesced frame — including in-place on the zero-copy
+  :class:`~repro.net.marshal.EncodedRun` fast path, which is the
+  per-run context column for the 0x20/0x21 run codecs.  The receiver
+  strips it, rebuilds the contexts (now carrying a closed ``wire``
+  segment) and re-registers them, so one trace reassembles end-to-end
+  across simulated-network hops.
+* Fan-out forks (an underflowing pop duplicates the last-popped
+  context with a child id); fan-in at a :class:`ZipBuffer` joins (the
+  secondary contexts finish as ``joined`` into the primary).
+
+Segments tile the trace exactly: every ``advance`` closes the open
+segment at time *t* and opens the next at the same *t*, so::
+
+    sum(duration for _, _, duration in trace.segments)
+        == trace.end_ts - trace.birth_ts
+
+which is what lets the critical-path decomposition (queue wait vs. pump
+service vs. wire time, per hop) account for every nanosecond of the
+measured end-to-end latency.
+
+Sampling is 1-in-N at birth (``sample_every``) plus tail-based
+retention: the bounded :class:`LineageStore` evicts fast delivered
+traces first and keeps slow, dropped, lost and joined ones.
+
+Usage::
+
+    engine = Engine(pipe, batch_max=32).attach_network(network)
+    tracer = FlowTracer(sample_every=1).attach(engine)
+    engine.start(); engine.run(until=3.0); engine.stop(); engine.run()
+    for trace in tracer.delivered():
+        print(trace.trace_id, trace.end_to_end, trace.decomposition())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+#: Safety bound on positional state: a carried deque or boundary record
+#: never holds more than this many entries; overflow finalizes the oldest
+#: as ``absorbed`` instead of growing without bound.
+MAX_POSITIONAL = 4096
+
+#: Terminal trace statuses.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+LOST = "lost"
+JOINED = "joined"
+ABSORBED = "absorbed"
+
+
+class TraceContext:
+    """One item's journey: a hop vector of contiguous timed segments.
+
+    ``segments`` is a list of ``(kind, name, duration)`` triples with
+    ``kind`` one of ``"service"`` / ``"wait"`` / ``"wire"``; the open
+    segment (``_seg_*``) is closed by :meth:`advance` or :meth:`finish`.
+    """
+
+    __slots__ = (
+        "trace_id", "parent", "birth_ts", "segments", "status", "end_ts",
+        "site", "reason", "_seg_kind", "_seg_name", "_seg_start",
+    )
+
+    def __init__(self, trace_id: str, birth_ts: float, kind: str, name: str):
+        self.trace_id = trace_id
+        self.parent: str | None = None
+        self.birth_ts = birth_ts
+        self.segments: list[tuple[str, str, float]] = []
+        self.status: str | None = None
+        self.end_ts: float | None = None
+        self.site: str | None = None
+        self.reason: str | None = None
+        self._seg_kind = kind
+        self._seg_name = name
+        self._seg_start = birth_ts
+
+    # -- segment bookkeeping ------------------------------------------------
+
+    def advance(self, kind: str, name: str, t: float) -> None:
+        """Close the open segment at ``t`` and open ``(kind, name)``."""
+        self.segments.append(
+            (self._seg_kind, self._seg_name, t - self._seg_start)
+        )
+        self._seg_kind = kind
+        self._seg_name = name
+        self._seg_start = t
+
+    def finish(
+        self,
+        t: float,
+        status: str,
+        site: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        if self.status is not None:
+            return  # already terminal (defensive: double finalize)
+        self.segments.append(
+            (self._seg_kind, self._seg_name, t - self._seg_start)
+        )
+        self.end_ts = t
+        self.status = status
+        self.site = site if site is not None else self._seg_name
+        self.reason = reason
+
+    def fork(self, child_id: str) -> "TraceContext":
+        """A fan-out child: same history, new identity.
+
+        Works on finished parents too (a sink delivery finalizes the
+        first branch before the walker pushes the second): the closing
+        segment :meth:`finish` appended duplicates the still-open one,
+        so it is dropped and the child re-opens at the same point.
+        """
+        child = TraceContext(
+            child_id, self.birth_ts, self._seg_kind, self._seg_name
+        )
+        child.parent = self.trace_id
+        segments = self.segments
+        if self.status is not None:
+            segments = segments[:-1]
+        child.segments = list(segments)
+        child._seg_start = self._seg_start
+        return child
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """Primitive-typed dict for the TLV side-chunk."""
+        return {
+            "id": self.trace_id,
+            "p": self.parent,
+            "b": self.birth_ts,
+            "s": [list(seg) for seg in self.segments],
+            "ok": self._seg_kind,
+            "on": self._seg_name,
+            "ot": self._seg_start,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: dict) -> "TraceContext":
+        ctx = cls(fields["id"], fields["b"], fields["ok"], fields["on"])
+        ctx.parent = fields["p"]
+        ctx.segments = [tuple(seg) for seg in fields["s"]]
+        ctx._seg_start = fields["ot"]
+        return ctx
+
+
+class FlowTrace:
+    """Read-only query wrapper over a (usually finished) context."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: TraceContext):
+        self._ctx = ctx
+
+    @property
+    def trace_id(self) -> str:
+        return self._ctx.trace_id
+
+    @property
+    def parent(self) -> str | None:
+        return self._ctx.parent
+
+    @property
+    def status(self) -> str:
+        return self._ctx.status or "in-flight"
+
+    @property
+    def birth_ts(self) -> float:
+        return self._ctx.birth_ts
+
+    @property
+    def end_ts(self) -> float | None:
+        return self._ctx.end_ts
+
+    @property
+    def site(self) -> str | None:
+        return self._ctx.site
+
+    @property
+    def reason(self) -> str | None:
+        return self._ctx.reason
+
+    @property
+    def segments(self) -> list[tuple[str, str, float]]:
+        return list(self._ctx.segments)
+
+    @property
+    def end_to_end(self) -> float:
+        """Measured birth-to-finish latency (0.0 while in flight)."""
+        end = self._ctx.end_ts
+        return 0.0 if end is None else end - self._ctx.birth_ts
+
+    def decomposition(self) -> dict[str, float]:
+        """Total time per segment kind (wait / service / wire).
+
+        The segments tile the trace, so the values sum to
+        :attr:`end_to_end` exactly.
+        """
+        totals: dict[str, float] = {}
+        for kind, _name, duration in self._ctx.segments:
+            totals[kind] = totals.get(kind, 0.0) + duration
+        return totals
+
+    def by_hop(self) -> list[dict[str, Any]]:
+        """Per-hop view: kind, location name, duration, cumulative end."""
+        hops = []
+        at = self._ctx.birth_ts
+        for kind, name, duration in self._ctx.segments:
+            at += duration
+            hops.append(
+                {"kind": kind, "name": name, "duration": duration, "t": at}
+            )
+        return hops
+
+    def critical_path(self) -> tuple[str, str, float] | None:
+        """The single longest segment — where this item spent its time."""
+        segments = self._ctx.segments
+        if not segments:
+            return None
+        return max(segments, key=lambda seg: seg[2])
+
+    def to_dict(self) -> dict[str, Any]:
+        ctx = self._ctx
+        return {
+            "trace_id": ctx.trace_id,
+            "parent": ctx.parent,
+            "status": self.status,
+            "birth_ts": ctx.birth_ts,
+            "end_ts": ctx.end_ts,
+            "end_to_end": self.end_to_end,
+            "site": ctx.site,
+            "reason": ctx.reason,
+            "segments": [
+                {"kind": kind, "name": name, "duration": duration}
+                for kind, name, duration in ctx.segments
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowTrace {self.trace_id} {self.status} "
+            f"{self.end_to_end:.6f}s {len(self.segments)} segments>"
+        )
+
+
+class LineageStore:
+    """Bounded trace retention with tail-based eviction.
+
+    Completed traces that finished fast and cleanly (``delivered`` under
+    ``slow_threshold``) are the first evicted when the store exceeds
+    ``max_traces``; slow, dropped, lost and joined traces — the ones an
+    operator actually asks about — are kept until only they remain.
+    In-flight traces are never evicted (their population is bounded by
+    the pipeline's in-flight item count).
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 512,
+        slow_threshold: float | None = None,
+    ):
+        self.max_traces = max_traces
+        self.slow_threshold = slow_threshold
+        self._traces: dict[str, TraceContext] = {}
+        #: Completed ids in completion order, split by interest.
+        self._boring: deque[str] = deque()
+        self._kept: deque[str] = deque()
+        self.evicted = 0
+        self.completed = 0
+        self._callbacks: list[Callable[[FlowTrace], None]] = []
+
+    def on_complete(self, callback: Callable[[FlowTrace], None]) -> None:
+        """Run ``callback(FlowTrace)`` whenever a trace finishes (the SLO
+        engine subscribes here)."""
+        self._callbacks.append(callback)
+
+    def register(self, ctx: TraceContext) -> None:
+        """Add (or replace, after a wire hop) a context."""
+        self._traces[ctx.trace_id] = ctx
+
+    def complete(self, ctx: TraceContext) -> None:
+        self._traces[ctx.trace_id] = ctx
+        self.completed += 1
+        interesting = ctx.status != DELIVERED or (
+            self.slow_threshold is not None
+            and ctx.end_ts is not None
+            and ctx.end_ts - ctx.birth_ts > self.slow_threshold
+        )
+        (self._kept if interesting else self._boring).append(ctx.trace_id)
+        if self._callbacks:
+            trace = FlowTrace(ctx)
+            for callback in self._callbacks:
+                callback(trace)
+        while len(self._traces) > self.max_traces:
+            victims = self._boring or self._kept
+            if not victims:
+                break  # only in-flight traces remain
+            victim = victims.popleft()
+            if self._traces.pop(victim, None) is not None:
+                self.evicted += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def trace(self, trace_id: str) -> FlowTrace | None:
+        ctx = self._traces.get(trace_id)
+        return None if ctx is None else FlowTrace(ctx)
+
+    def traces(self, status: str | None = None) -> list[FlowTrace]:
+        out = [FlowTrace(ctx) for ctx in self._traces.values()]
+        if status is not None:
+            out = [trace for trace in out if trace.status == status]
+        return out
+
+    def inflight(self) -> list[FlowTrace]:
+        return [
+            FlowTrace(ctx)
+            for ctx in self._traces.values()
+            if ctx.status is None
+        ]
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+class _BoundaryRecord:
+    """Positional context deque mirroring one boundary queue."""
+
+    __slots__ = ("name", "entries", "fill", "drop_newest")
+
+    def __init__(self, name: str, fill: Callable[[], int],
+                 drop_newest: bool = False):
+        self.name = name
+        self.entries: deque = deque()
+        self.fill = fill
+        self.drop_newest = drop_newest
+
+
+class FlowTracer:
+    """Wires causal flow tracing through a pipeline engine.
+
+    Parameters
+    ----------
+    sample_every:
+        Trace 1 in N source items (1 = every item).  Unsampled items
+        still occupy a positional slot (``None``), which is what keeps
+        sampled contexts aligned with their items.
+    max_traces / slow_threshold:
+        Retention policy of the :class:`LineageStore`.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to publish
+        trace counters into (``repro_flow_traces_total{status=}``,
+        ``repro_flow_end_to_end_seconds``).
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        max_traces: int = 512,
+        slow_threshold: float | None = None,
+        registry=None,
+    ):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.store = LineageStore(max_traces, slow_threshold)
+        self.registry = registry
+        self._engine: "Engine | None" = None
+        self._now: Callable[[], float] | None = None
+        #: One-element cells rather than plain attributes/values: the
+        #: compiled traced walkers close over them, so the per-item path
+        #: pays a list index instead of an attribute or dict lookup.
+        self._births_cell: list[int] = [0]
+        self._next_id = 0
+        self._carried: dict[str, deque] = {}
+        #: thread -> [count] of unsampled births not yet materialized as
+        #: ``None`` slots.  The per-item hot path only bumps this integer;
+        #: the slow paths (sampled births, boundary/wire ops, forks) call
+        #: :meth:`_flush` first so positional order is preserved.
+        self._pending: dict[str, list] = {}
+        self._last_pop: dict[str, list] = {}
+        #: component name -> ("single", record) | ("zip", {port: record})
+        self._records: dict[str, tuple] = {}
+        #: thread -> (component name, reason) of its declared-lossy stage.
+        self._lossy: dict[str, tuple[str, str]] = {}
+        self._e2e_hist = None
+        self._status_counters: dict[str, Any] = {}
+
+    @property
+    def _births(self) -> int:
+        return self._births_cell[0]
+
+    @_births.setter
+    def _births(self, value: int) -> None:
+        self._births_cell[0] = value
+
+    def _last_cell(self, thread: str) -> list:
+        """The thread's fork-anchor cell (``[ctx-or-None]``)."""
+        return self._last_pop.setdefault(thread, [None])
+
+    def _pending_cell(self, thread: str) -> list:
+        """The thread's deferred-slot counter cell (``[int]``)."""
+        return self._pending.setdefault(thread, [0])
+
+    def _flush(self, thread: str) -> None:
+        """Materialize the thread's pending unsampled births as ``None``
+        slots, restoring strict positional order before a slow-path op
+        (sampled birth, boundary put, wire staging, cross-thread push)."""
+        pending = self._pending.get(thread)
+        if pending is not None and pending[0]:
+            carried = self._carried.setdefault(thread, deque())
+            carried.extend([None] * min(pending[0], MAX_POSITIONAL))
+            pending[0] = 0
+
+    # ------------------------------------------------------------ attach
+
+    def attach(self, engine: "Engine") -> "FlowTracer":
+        if self._engine is not None:
+            raise RuntimeError("flow tracer is already attached")
+        engine.setup()
+        self._engine = engine
+        engine._flow_tracer = self
+        self._now = engine.scheduler.clock.now
+
+        for component, gate in engine._gates.items():
+            self._install_boundary(component, gate)
+        for driver in engine.pump_drivers:
+            driver._flow = self
+            thread = driver.thread_name
+            self._carried[thread] = deque()
+            # The cycle epilogue is inlined in the driver loop: the driver
+            # checks the carried deque itself and only calls the bound
+            # drain when a live (sampled) context is actually stranded.
+            driver._flow_carried = self._carried[thread]
+            driver._flow_pending = self._pending_cell(thread)
+            driver._flow_last = self._last_cell(thread)
+            driver._flow_cycle_end = self.cycle_end_fn(thread)
+        for driver in engine._coroutine_drivers.values():
+            driver._flow = self
+            self._carried[driver.thread_name] = deque()
+        for component in engine.pipeline.components:
+            if getattr(component, "wire_sink", False) or hasattr(
+                component, "_deliver_frame"
+            ):
+                component._flow = self
+        self._map_lossy(engine)
+        if self.registry is not None:
+            self._publish(self.registry)
+        # Recompile so source/sink/coroutine walkers bind their traced
+        # variants; the untraced closures never branch on the tracer, so
+        # the cost when off stays zero.
+        engine._compile_walkers()
+        return self
+
+    def _install_boundary(self, component, gate) -> None:
+        name = component.name
+        fill = getattr(component, "fill_level", None)
+        if callable(fill):
+            # ZipBuffer-style: per-port queues, N:1 join on pull.
+            ports = getattr(component, "in_names", [])
+            records = {
+                port: _BoundaryRecord(name, lambda c=component, p=port:
+                                      c.fill_level(p))
+                for port in ports
+            }
+            self._records[name] = ("zip", records)
+        else:
+            drop_newest = (
+                getattr(getattr(component, "on_full", None), "value", "")
+                == "drop-new"
+            )
+            record = _BoundaryRecord(
+                name, lambda c=component: c.fill_level, drop_newest
+            )
+            self._records[name] = ("single", record)
+        gate._flow = self
+        gate._flow_key = name
+
+    def _map_lossy(self, engine) -> None:
+        for thread, owned in engine._thread_components.items():
+            for comp_name, component in owned.items():
+                reason = getattr(component, "loss_reason", None)
+                if reason:
+                    self._lossy[thread] = (comp_name, str(reason))
+                    break
+                if getattr(component, "conserving", True) is False and \
+                        comp_name not in self._records:
+                    self._lossy.setdefault(
+                        thread, (comp_name, "declared non-conserving")
+                    )
+
+    def _publish(self, registry) -> None:
+        for status in (DELIVERED, DROPPED, LOST, JOINED, ABSORBED):
+            self._status_counters[status] = registry.counter(
+                "repro_flow_traces_total",
+                help="Finished flow traces by terminal status",
+                status=status,
+            )
+        self._e2e_hist = registry.histogram(
+            "repro_flow_end_to_end_seconds",
+            help="End-to-end latency of delivered traces",
+        )
+        registry.gauge(
+            "repro_flow_store_size",
+            help="Traces currently retained in the lineage store",
+            fn=lambda s=self.store: len(s),
+        )
+        registry.gauge(
+            "repro_flow_store_evicted_total",
+            help="Traces evicted by the retention policy",
+            fn=lambda s=self.store: s.evicted,
+        )
+
+    # ------------------------------------------------------------ identity
+
+    def _new_id(self) -> str:
+        self._next_id += 1
+        return f"t{self._next_id}"
+
+    def _finish(self, ctx: TraceContext, status: str,
+                site: str | None = None, reason: str | None = None) -> None:
+        ctx.finish(self._now(), status, site, reason)
+        counter = self._status_counters.get(status)
+        if counter is not None:
+            counter.inc()
+        if status == DELIVERED and self._e2e_hist is not None:
+            self._e2e_hist.observe(ctx.end_ts - ctx.birth_ts)
+        self.store.complete(ctx)
+
+    # ------------------------------------------------------------ births
+
+    def birth(self, thread: str) -> None:
+        """A data item just left a source in ``thread``'s section."""
+        self._births += 1
+        if self.sample_every == 1 or self._births % self.sample_every == 0:
+            self._flush(thread)
+            carried = self._carried.setdefault(thread, deque())
+            ctx = TraceContext(self._new_id(), self._now(), "service", thread)
+            self.store.register(ctx)
+            carried.append(ctx)
+            if len(carried) > MAX_POSITIONAL:
+                stale = carried.popleft()
+                if stale is not None:
+                    self._finish(stale, ABSORBED, site=thread)
+        else:
+            # Deferred slot: just count it (see _flush).
+            self._pending_cell(thread)[0] += 1
+
+    def births(self, thread: str, k: int) -> None:
+        """A run of ``k`` data items left a source at once."""
+        for _ in range(k):
+            self.birth(thread)
+
+    # Compile-time factories: the traced walkers bind these closures once
+    # per node, so the per-item path pays bound locals instead of dict
+    # lookups (the sampled-tracing overhead budget is 5%).
+
+    def birth_fn(self, thread: str) -> Callable[[], None]:
+        """Bound per-item birth closure for ``thread``'s source walker."""
+        births, every, pending, sampled_birth = self.birth_parts(thread)
+
+        def birth() -> None:
+            n = births[0] + 1
+            births[0] = n
+            if n % every:
+                pending[0] += 1
+            else:
+                sampled_birth()
+
+        return birth
+
+    def birth_parts(
+        self, thread: str
+    ) -> tuple[list, int, list, Callable[[], None]]:
+        """Bound pieces for walkers that inline the unsampled fast path:
+        ``(births_cell, sample_every, pending_cell, sampled_birth)``.
+        The caller bumps the births cell itself and counts unsampled
+        items into the pending cell — two integer stores, no container
+        ops — and only calls ``sampled_birth`` for the 1-in-N items that
+        get a context (which first materializes the pending slots)."""
+        carried = self._carried.setdefault(thread, deque())
+        pending = self._pending_cell(thread)
+
+        def sampled_birth() -> None:
+            n = pending[0]
+            if n:
+                carried.extend([None] * min(n, MAX_POSITIONAL))
+                pending[0] = 0
+            ctx = TraceContext(self._new_id(), self._now(), "service", thread)
+            self.store.register(ctx)
+            carried.append(ctx)
+
+        return self._births_cell, self.sample_every, pending, sampled_birth
+
+    def births_fn(self, thread: str) -> Callable[[int], None]:
+        """Bound run-births closure (batch-aware sources)."""
+        birth = self.birth_fn(thread)
+
+        def births(k: int) -> None:
+            for _ in range(k):
+                birth()
+
+        return births
+
+    def deliver_fn(self, thread: str, sink_name: str) -> Callable[[], None]:
+        """Bound per-item delivery closure for a passive sink."""
+        carried, popleft, pending, cell, finish_delivered, slow_deliver = \
+            self.deliver_parts(thread, sink_name)
+
+        def deliver() -> None:
+            if carried:
+                ctx = popleft()
+                cell[0] = ctx
+                if ctx is not None:
+                    finish_delivered(ctx)
+            elif pending[0]:
+                pending[0] -= 1
+                cell[0] = None
+            else:
+                slow_deliver()
+
+        return deliver
+
+    def deliver_parts(
+        self, thread: str, sink_name: str
+    ) -> tuple[deque, Callable, list, list, Callable, Callable[[], None]]:
+        """Bound pieces for sink walkers that inline the delivery fast
+        path: ``(carried, carried.popleft, pending_cell, last_cell,
+        finish_delivered, slow_deliver)``.  The common case — consume the
+        item's positional slot — is a deque pop (materialized slots, which
+        are older) or a pending-count decrement, plus anchoring the fork
+        cell; only sampled contexts (``finish_delivered``) and underflow
+        forks (``slow_deliver``) pay a call."""
+        carried = self._carried.setdefault(thread, deque())
+        pending = self._pending_cell(thread)
+        cell = self._last_cell(thread)
+
+        def finish_delivered(ctx) -> None:
+            self._finish(ctx, DELIVERED, site=sink_name)
+
+        def slow_deliver() -> None:
+            ctx = self.pop_carried(thread)
+            if ctx is not None:
+                self._finish(ctx, DELIVERED, site=sink_name)
+
+        return (carried, carried.popleft, pending, cell, finish_delivered,
+                slow_deliver)
+
+    def deliver_many_fn(self, thread: str,
+                        sink_name: str) -> Callable[[int], None]:
+        """Bound run-delivery closure for a passive sink."""
+        deliver = self.deliver_fn(thread, sink_name)
+
+        def deliver_many(k: int) -> None:
+            for _ in range(k):
+                deliver()
+
+        return deliver_many
+
+    # ------------------------------------------------------------ carried
+
+    def pop_carried(self, thread: str) -> TraceContext | None:
+        """Take the context of the next item leaving ``thread``'s hands.
+
+        An underflow (fan-out: one pulled item became several pushed
+        ones) forks the last-popped context so every branch keeps the
+        shared history under its own id.
+        """
+        carried = self._carried.get(thread)
+        cell = self._last_cell(thread)
+        if carried:
+            ctx = carried.popleft()
+            cell[0] = ctx
+            return ctx
+        pending = self._pending.get(thread)
+        if pending is not None and pending[0]:
+            # Deferred unsampled slot (older than any future carried
+            # entry, since materialization always flushes in order).
+            pending[0] -= 1
+            cell[0] = None
+            return None
+        last = cell[0]
+        if last is not None:
+            child = last.fork(self._new_id())
+            self.store.register(child)
+            return child
+        return None
+
+    def push_carried(self, thread: str, ctx: TraceContext | None) -> None:
+        self._flush(thread)
+        carried = self._carried.get(thread)
+        if carried is None:
+            carried = self._carried.setdefault(thread, deque())
+        carried.append(ctx)
+        if len(carried) > MAX_POSITIONAL:
+            stale = carried.popleft()
+            if stale is not None:
+                self._finish(stale, ABSORBED, site=thread)
+
+    def transfer(self, src_thread: str, dst_thread: str, k: int) -> None:
+        """Move ``k`` positional entries across a coroutine boundary."""
+        for _ in range(k):
+            self.push_carried(dst_thread, self.pop_carried(src_thread))
+
+    def cycle_end_fn(self, thread: str) -> Callable[[], None]:
+        """Bound slow-path finalizer for stranded *sampled* contexts.
+
+        The pump driver inlines the per-cycle epilogue itself: it clears
+        all-``None`` leftovers with one C-level ``deque.clear`` and only
+        calls this closure when ``any(carried)`` finds a live context to
+        attribute (drop vs. absorb)."""
+        carried = self._carried.setdefault(thread, deque())
+        popleft = carried.popleft
+        pending = self._pending_cell(thread)
+        cell = self._last_cell(thread)
+
+        def cycle_end() -> None:
+            if carried:
+                lossy = self._lossy.get(thread)
+                while carried:
+                    ctx = popleft()
+                    if ctx is None:
+                        continue
+                    if lossy is not None:
+                        self._finish(
+                            ctx, DROPPED, site=lossy[0], reason=lossy[1]
+                        )
+                    else:
+                        self._finish(ctx, ABSORBED, site=thread)
+            pending[0] = 0
+            cell[0] = None
+
+        return cycle_end
+
+    def cycle_end(self, thread: str) -> None:
+        """Finalize entries still in hand when a pump cycle completes:
+        the item never reached a sink or boundary, so the section's
+        declared-lossy stage dropped it (or it was absorbed)."""
+        carried = self._carried.get(thread)
+        cell = self._last_cell(thread)
+        self._pending_cell(thread)[0] = 0
+        if not carried:
+            cell[0] = None
+            return
+        lossy = self._lossy.get(thread)
+        while carried:
+            ctx = carried.popleft()
+            if ctx is None:
+                continue
+            if lossy is not None:
+                self._finish(ctx, DROPPED, site=lossy[0], reason=lossy[1])
+            else:
+                self._finish(ctx, ABSORBED, site=thread)
+        cell[0] = None
+
+    # ------------------------------------------------------------ sinks
+
+    def deliver(self, thread: str, sink_name: str, k: int = 1) -> None:
+        """``k`` data items just landed in a passive sink."""
+        t = self._now()
+        for _ in range(k):
+            ctx = self.pop_carried(thread)
+            if ctx is not None:
+                ctx.finish(t, DELIVERED, site=sink_name)
+                counter = self._status_counters.get(DELIVERED)
+                if counter is not None:
+                    counter.inc()
+                if self._e2e_hist is not None:
+                    self._e2e_hist.observe(ctx.end_ts - ctx.birth_ts)
+                self.store.complete(ctx)
+
+    # ------------------------------------------------------------ boundaries
+
+    def boundary_put(self, key: str, port: str, thread: str, k: int) -> None:
+        """``k`` data items moved from ``thread`` into boundary ``key``."""
+        kind, records = self._records[key]
+        record = records if kind == "single" else records[port]
+        t = self._now()
+        entries = record.entries
+        for _ in range(k):
+            ctx = self.pop_carried(thread)
+            if ctx is not None:
+                ctx.advance("wait", record.name, t)
+            entries.append(ctx)
+        self._heal(record)
+
+    def boundary_get(self, key: str, port: str, thread: str, k: int) -> None:
+        """``k`` data items moved from boundary ``key`` into ``thread``."""
+        kind, records = self._records[key]
+        t = self._now()
+        if kind == "zip":
+            # One pulled tuple joined the head of every port queue.
+            for _ in range(k):
+                primary: TraceContext | None = None
+                for record in records.values():
+                    ctx = record.entries.popleft() if record.entries else None
+                    if ctx is None:
+                        continue
+                    if primary is None:
+                        primary = ctx
+                    else:
+                        ctx.advance("service", thread, t)
+                        self._finish(
+                            ctx, JOINED, site=record.name,
+                            reason=f"joined into {primary.trace_id}",
+                        )
+                if primary is not None:
+                    primary.advance("service", thread, t)
+                self.push_carried(thread, primary)
+            return
+        record = records
+        entries = record.entries
+        # Heal: anything beyond (popped k + queue fill) was evicted by a
+        # drop policy or a flush since we last looked.
+        self._heal(record, extra=k)
+        for _ in range(k):
+            ctx = entries.popleft() if entries else None
+            if ctx is not None:
+                ctx.advance("service", thread, t)
+            self.push_carried(thread, ctx)
+
+    def _heal(self, record: _BoundaryRecord, extra: int = 0) -> None:
+        entries = record.entries
+        target = record.fill() + extra
+        while len(entries) > target:
+            ctx = entries.pop() if record.drop_newest else entries.popleft()
+            if ctx is not None:
+                self._finish(
+                    ctx, DROPPED, site=record.name,
+                    reason="evicted at full buffer"
+                    if not record.drop_newest else "rejected at full buffer",
+                )
+        while len(entries) > MAX_POSITIONAL:
+            ctx = entries.popleft()
+            if ctx is not None:
+                self._finish(ctx, ABSORBED, site=record.name)
+
+    # ------------------------------------------------------------ the wire
+
+    def stage_wire(self, sender, thread: str, k: int) -> None:
+        """``k`` data items are about to enter a netpipe sender; stage
+        their sampled contexts (with run indices) on the sender so the
+        next frame carries them as a side-chunk."""
+        staged = []
+        for index in range(k):
+            ctx = self.pop_carried(thread)
+            if ctx is not None:
+                staged.append((index, ctx))
+        sender._flow_staged = staged or None
+
+    def wire_chunk(self, staged, flow_name: str) -> bytes | None:
+        """Serialize staged contexts into the trace side-chunk; each
+        context advances into its ``wire`` segment at send time."""
+        from repro.net.marshal import encode_flow_chunk
+
+        t = self._now()
+        entries = []
+        for index, ctx in staged:
+            ctx.advance("wire", flow_name, t)
+            self.store.register(ctx)
+            entries.append((index, ctx.to_wire()))
+        if not entries:
+            return None
+        return encode_flow_chunk(entries)
+
+    def wire_arrival(self, receiver, chunks: list) -> list:
+        """A coalesced frame arrived: strip the trace side-chunk (if
+        any), rebuild its contexts — now waiting in the receive queue —
+        and mirror the queued chunks into the receiver's record.
+
+        Returns the data chunks (side-chunk removed).
+        """
+        from repro.net.marshal import split_flow_chunk
+
+        chunks, entries = split_flow_chunk(chunks)
+        by_index: dict[int, TraceContext] = {}
+        if entries:
+            t = self._now()
+            for index, fields in entries:
+                ctx = TraceContext.from_wire(fields)
+                ctx.advance("wait", receiver.name, t)
+                # Same trace id as the sender-side copy: re-registering
+                # reassembles the trace across the hop.
+                self.store.register(ctx)
+                by_index[index] = ctx
+        kind, record = self._records.get(receiver.name, (None, None))
+        if kind == "single":
+            entries_deque = record.entries
+            for index in range(len(chunks)):
+                entries_deque.append(by_index.get(index))
+            # The caller extends the receive queue *after* this returns,
+            # so the heal target must already count the new chunks.
+            self._heal(record, extra=len(chunks))
+        return chunks
+
+    def wire_arrival_plain(self, receiver) -> None:
+        """An untraced per-item packet arrived: keep the record aligned."""
+        kind, record = self._records.get(receiver.name, (None, None))
+        if kind == "single":
+            record.entries.append(None)
+            self._heal(record)
+
+    def finalize_inflight(self, status: str = LOST) -> int:
+        """Finish every still-open trace (frames lost on the wire, items
+        parked in queues at shutdown).  Returns how many were closed."""
+        closed = 0
+        for trace in self.store.inflight():
+            self._finish(trace._ctx, status)
+            closed += 1
+        return closed
+
+    # ------------------------------------------------------------ queries
+
+    def trace(self, trace_id: str) -> FlowTrace | None:
+        return self.store.trace(trace_id)
+
+    def traces(self, status: str | None = None) -> list[FlowTrace]:
+        return self.store.traces(status)
+
+    def delivered(self) -> list[FlowTrace]:
+        return self.store.traces(DELIVERED)
+
+    def dropped(self) -> list[FlowTrace]:
+        return self.store.traces(DROPPED) + self.store.traces(LOST)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary (served by ``run --serve-metrics``)."""
+        traces = self.store.traces()
+        by_status: dict[str, int] = {}
+        for trace in traces:
+            by_status[trace.status] = by_status.get(trace.status, 0) + 1
+        delivered = [t for t in traces if t.status == DELIVERED]
+        slowest = sorted(
+            delivered, key=lambda t: t.end_to_end, reverse=True
+        )[:10]
+        return {
+            "births": self._births,
+            "sample_every": self.sample_every,
+            "completed": self.store.completed,
+            "evicted": self.store.evicted,
+            "retained": len(self.store),
+            "by_status": by_status,
+            "slowest": [trace.to_dict() for trace in slowest],
+        }
+
+
+def iter_finished(source: "FlowTracer | LineageStore") -> Iterable[FlowTrace]:
+    """Every finished trace in a tracer or store (exporter entry point)."""
+    store = source.store if isinstance(source, FlowTracer) else source
+    for trace in store.traces():
+        if trace.status != "in-flight":
+            yield trace

@@ -143,6 +143,33 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def observe_count(self, value: float, n: int) -> None:
+        """Record ``value`` with multiplicity ``n`` in one bucket update.
+
+        The batch walkers use this to weight a run-level measurement by
+        the items inside the run, so percentile decorations count items
+        rather than runs at batch_max > 1 — at the same hot-path cost as
+        a single :meth:`observe`.
+        """
+        if n <= 0:
+            return
+        if value <= _BOUNDS[0]:
+            index = 0
+        elif value > _BOUNDS[-1]:
+            index = _N_BOUNDS
+        else:
+            mantissa, exponent = _frexp(value)
+            index = exponent - _EXP_LO
+            if mantissa == 0.5:
+                index -= 1
+        self.counts[index] += n
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -181,15 +208,19 @@ class Histogram:
         return _BOUNDS
 
     def samples(self) -> Iterable[tuple[str, tuple, float]]:
-        """Prometheus-shaped samples: cumulative ``_bucket`` series (only
-        bounds whose bucket is non-empty, plus ``+Inf``), ``_sum`` and
-        ``_count``."""
+        """Prometheus-shaped samples: the FULL cumulative ``_bucket``
+        ladder — every bound, empty or not, plus ``+Inf`` — then ``_sum``
+        and ``_count``.
+
+        Emitting every bound (not just non-empty ones) is what makes the
+        exposition a valid Prometheus histogram: ``histogram_quantile``
+        and rate() need a stable, complete le-series per scrape.
+        """
         cumulative = 0
         for index, bucket_count in enumerate(self.counts[:_N_BOUNDS]):
             cumulative += bucket_count
-            if bucket_count:
-                le = ("le", f"{_BOUNDS[index]:.9g}")
-                yield self.name + "_bucket", self.labels + (le,), cumulative
+            le = ("le", f"{_BOUNDS[index]:.9g}")
+            yield self.name + "_bucket", self.labels + (le,), cumulative
         yield (
             self.name + "_bucket",
             self.labels + (("le", "+Inf"),),

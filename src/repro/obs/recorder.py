@@ -17,6 +17,10 @@ a flight recording unchanged.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import InvariantViolation
 from repro.mbt.scheduler import Scheduler
 
 DEFAULT_CAPACITY = 4096
@@ -60,6 +64,42 @@ class FlightRecorder:
 
     def __len__(self) -> int:
         return len(self.scheduler.trace)
+
+    @contextmanager
+    def dump_on(
+        self,
+        *exc_types: type[BaseException],
+        limit: int | None = None,
+    ) -> Iterator["FlightRecorder"]:
+        """Attach the last retained events to matching exceptions.
+
+        Wrap the run (or the check) in this context manager and any
+        escaping :class:`~repro.errors.InvariantViolation` — which covers
+        :class:`~repro.errors.RefinementViolation` — carries the flight
+        recording as an exception note, so the report that reaches the
+        test log or the operator already contains the last *N* scheduler
+        events leading up to the violation::
+
+            recorder = FlightRecorder(256).attach(engine.scheduler)
+            with recorder.dump_on():
+                engine.run()
+
+        ``exc_types`` overrides which exceptions get the dump; ``limit``
+        caps how many of the retained events are attached (default: all
+        of them).  The exception always propagates.
+        """
+        if not exc_types:
+            exc_types = (InvariantViolation,)
+        try:
+            yield self
+        except exc_types as exc:
+            exc.add_note(
+                "flight recorder (last "
+                f"{min(limit, len(self)) if limit is not None else len(self)}"
+                f" of {len(self)} retained events):\n"
+                + self.format(limit=limit)
+            )
+            raise
 
     def format(self, limit: int | None = None) -> str:
         """Human-readable dump of the retained events, newest last."""

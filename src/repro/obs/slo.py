@@ -1,0 +1,350 @@
+"""SLO engine: objectives, sliding windows, multi-window burn-rate alerts.
+
+An :class:`Objective` declares a service-level objective over the flow
+traces the lineage layer produces (:mod:`repro.obs.flow`):
+
+* ``latency_p99`` — the 99th percentile of end-to-end delivery latency
+  must stay at or below ``target`` seconds.  As an SLI this means at
+  most 1% of items may be slower than ``target``, so the error budget
+  is 1%.
+* ``delivered_fraction`` — at least ``target`` of all finished traces
+  must be *delivered* (not dropped, lost or absorbed); the error budget
+  is ``1 - target``.
+* ``freshness`` — the gap between consecutive deliveries must stay at
+  or below ``target`` seconds (a stalled stream burns budget even if
+  everything eventually arrives).
+
+Objectives apply per pipeline by default, or per stream/tenant via a
+``key`` function over the trace (e.g. keying on the delivery site).
+
+The :class:`SloEngine` subscribes to a tracer's
+:meth:`~repro.obs.flow.LineageStore.on_complete` feed and maintains, per
+(objective, key), a sliding window of good/bad events.  The **burn
+rate** over a window is the observed bad fraction divided by the error
+budget: 1.0 means the budget is being spent exactly as provisioned,
+above 1.0 means the SLO will be violated if the rate keeps up.  An
+alert fires only when *every* configured window burns above the
+objective's ``burn_alert`` threshold — the standard multi-window
+confirmation: the short window proves the problem is current, the long
+window proves it is not a blip.
+
+Burn rates are exposed as gauges
+(``repro_slo_burn_rate{objective=,key=,window=}`` and
+``repro_slo_alerting{objective=,key=}``) so the Prometheus exposition,
+the ``repro top`` dashboard, and the feedback layer's
+:class:`~repro.feedback.sensors.SloBurnSensor` all read the same
+numbers.
+
+Usage::
+
+    tracer = FlowTracer(sample_every=1, registry=registry).attach(engine)
+    slo = SloEngine([
+        Objective("e2e-latency", "latency_p99", target=0.050,
+                  windows=(1.0, 10.0)),
+        Objective("delivery", "delivered_fraction", target=0.99,
+                  windows=(1.0, 10.0)),
+    ], registry=registry).attach(tracer)
+    engine.start(); engine.run(until=5.0)
+    for alert in slo.alerts():
+        print(alert["objective"], alert["burn_rates"])
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.obs.flow import DELIVERED, FlowTrace, FlowTracer, LineageStore
+
+#: Objective kinds.
+LATENCY_P99 = "latency_p99"
+DELIVERED_FRACTION = "delivered_fraction"
+FRESHNESS = "freshness"
+
+_KINDS = (LATENCY_P99, DELIVERED_FRACTION, FRESHNESS)
+
+
+class Objective:
+    """One service-level objective evaluated over finished flow traces.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in metrics labels and alerts.
+    kind:
+        ``"latency_p99"`` / ``"delivered_fraction"`` / ``"freshness"``.
+    target:
+        Seconds for latency and freshness, a fraction in (0, 1] for
+        delivered_fraction.
+    windows:
+        Sliding window lengths in (virtual) seconds, shortest to
+        longest; the alert requires every window to burn.
+    key:
+        Optional ``FlowTrace -> str`` grouping function (per-stream /
+        per-tenant objectives).  ``None`` keys the whole pipeline.
+    budget:
+        Allowed bad-event fraction; defaults to the kind's natural
+        budget (0.01 for latency_p99 and freshness, ``1 - target`` for
+        delivered_fraction).
+    burn_alert:
+        Burn-rate threshold above which a window counts as burning.
+    """
+
+    __slots__ = (
+        "name", "kind", "target", "windows", "key", "budget", "burn_alert",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        target: float,
+        windows: tuple[float, ...] = (1.0, 10.0),
+        key: Callable[[FlowTrace], str] | None = None,
+        budget: float | None = None,
+        burn_alert: float = 1.0,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown objective kind {kind!r}; pick one of {_KINDS}"
+            )
+        if target <= 0:
+            raise ValueError("objective target must be positive")
+        if kind == DELIVERED_FRACTION and target > 1.0:
+            raise ValueError("delivered_fraction target is a fraction <= 1")
+        if not windows:
+            raise ValueError("an objective needs at least one window")
+        self.name = name
+        self.kind = kind
+        self.target = target
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self.key = key
+        if budget is None:
+            budget = 1.0 - target if kind == DELIVERED_FRACTION else 0.01
+        if budget <= 0:
+            raise ValueError("error budget must be positive")
+        self.budget = budget
+        self.burn_alert = burn_alert
+
+    def is_bad(self, trace: FlowTrace, gap: float | None) -> bool:
+        """Does this finished trace spend error budget?"""
+        if self.kind == LATENCY_P99:
+            return (
+                trace.status != DELIVERED or trace.end_to_end > self.target
+            )
+        if self.kind == DELIVERED_FRACTION:
+            return trace.status != DELIVERED
+        # freshness: a delivery that arrives too long after the previous
+        # one (or a trace that never delivers at all) burns budget.
+        if trace.status != DELIVERED:
+            return True
+        return gap is not None and gap > self.target
+
+
+class _Series:
+    """Sliding good/bad event window for one (objective, key)."""
+
+    __slots__ = ("events", "total", "bad")
+
+    def __init__(self):
+        #: (timestamp, bad) pairs, oldest first, trimmed to the longest
+        #: window on every append.
+        self.events: deque[tuple[float, bool]] = deque()
+        self.total = 0
+        self.bad = 0
+
+
+class SloEngine:
+    """Evaluates objectives over the completed-trace feed.
+
+    Subscribe with :meth:`attach`; read :meth:`burn_rates`,
+    :meth:`alerts` and :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[Objective],
+        now: Callable[[], float] | None = None,
+        registry=None,
+    ):
+        self.objectives = list(objectives)
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self._now = now
+        self.registry = registry
+        #: (objective name, key) -> _Series
+        self._series: dict[tuple[str, str], _Series] = {}
+        #: (objective name, key) -> last delivery timestamp (freshness).
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self._alert_gauges: dict[tuple[str, str], Any] = {}
+
+    # ------------------------------------------------------------ attach
+
+    def attach(self, source: FlowTracer | LineageStore) -> "SloEngine":
+        """Subscribe to a tracer's (or store's) completion feed."""
+        store = source.store if isinstance(source, FlowTracer) else source
+        if self._now is None and isinstance(source, FlowTracer):
+            self._now = source._now
+        store.on_complete(self.observe_trace)
+        return self
+
+    # ------------------------------------------------------------ feed
+
+    def observe_trace(self, trace: FlowTrace) -> None:
+        """Fold one finished trace into every matching objective."""
+        ts = trace.end_ts if trace.end_ts is not None else trace.birth_ts
+        for objective in self.objectives:
+            key = "" if objective.key is None else str(objective.key(trace))
+            series_key = (objective.name, key)
+            gap = None
+            if objective.kind == FRESHNESS:
+                last = self._last_delivery.get(series_key)
+                if trace.status == DELIVERED:
+                    if last is not None:
+                        gap = ts - last
+                    self._last_delivery[series_key] = ts
+            bad = objective.is_bad(trace, gap)
+            series = self._series.get(series_key)
+            if series is None:
+                series = self._series[series_key] = _Series()
+                self._publish_series(objective, key, series)
+            series.events.append((ts, bad))
+            series.total += 1
+            if bad:
+                series.bad += 1
+            horizon = ts - objective.windows[-1]
+            events = series.events
+            while events and events[0][0] < horizon:
+                _, was_bad = events.popleft()
+                series.total -= 1
+                if was_bad:
+                    series.bad -= 1
+
+    # ------------------------------------------------------------ reading
+
+    def _window_burn(
+        self, objective: Objective, series: _Series, window: float
+    ) -> float:
+        """Bad fraction over the trailing ``window``, over the budget."""
+        now = self._now() if self._now is not None else (
+            series.events[-1][0] if series.events else 0.0
+        )
+        horizon = now - window
+        total = 0
+        bad = 0
+        for ts, was_bad in reversed(series.events):
+            if ts < horizon:
+                break
+            total += 1
+            if was_bad:
+                bad += 1
+        if total == 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def burn_rates(self) -> dict[tuple[str, str, float], float]:
+        """(objective name, key, window) -> current burn rate."""
+        out: dict[tuple[str, str, float], float] = {}
+        by_name = {objective.name: objective for objective in self.objectives}
+        for (name, key), series in self._series.items():
+            objective = by_name[name]
+            for window in objective.windows:
+                out[(name, key, window)] = self._window_burn(
+                    objective, series, window
+                )
+        return out
+
+    def is_alerting(self, objective: Objective, key: str = "") -> bool:
+        """True when every window of ``objective`` burns above threshold."""
+        series = self._series.get((objective.name, key))
+        if series is None:
+            return False
+        return all(
+            self._window_burn(objective, series, window)
+            > objective.burn_alert
+            for window in objective.windows
+        )
+
+    def alerts(self) -> list[dict[str, Any]]:
+        """Every (objective, key) currently in multi-window alert."""
+        out = []
+        by_name = {objective.name: objective for objective in self.objectives}
+        for (name, key), series in sorted(self._series.items()):
+            objective = by_name[name]
+            burns = {
+                window: self._window_burn(objective, series, window)
+                for window in objective.windows
+            }
+            if all(
+                rate > objective.burn_alert for rate in burns.values()
+            ):
+                out.append({
+                    "objective": name,
+                    "key": key,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "burn_rates": burns,
+                })
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready SLO state (served by ``run --serve-metrics``)."""
+        by_name = {objective.name: objective for objective in self.objectives}
+        series_out = []
+        for (name, key), series in sorted(self._series.items()):
+            objective = by_name[name]
+            series_out.append({
+                "objective": name,
+                "key": key,
+                "kind": objective.kind,
+                "target": objective.target,
+                "window_events": series.total,
+                "window_bad": series.bad,
+                "burn_rates": {
+                    str(window): self._window_burn(objective, series, window)
+                    for window in objective.windows
+                },
+                "alerting": self.is_alerting(objective, key),
+            })
+        return {
+            "objectives": [
+                {
+                    "name": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "windows": list(objective.windows),
+                    "budget": objective.budget,
+                    "burn_alert": objective.burn_alert,
+                }
+                for objective in self.objectives
+            ],
+            "series": series_out,
+            "alerts": self.alerts(),
+        }
+
+    # ------------------------------------------------------------ metrics
+
+    def _publish_series(
+        self, objective: Objective, key: str, series: _Series
+    ) -> None:
+        if self.registry is None:
+            return
+        for window in objective.windows:
+            self.registry.gauge(
+                "repro_slo_burn_rate",
+                help="SLO error-budget burn rate per sliding window",
+                fn=lambda o=objective, s=series, w=window:
+                    self._window_burn(o, s, w),
+                objective=objective.name,
+                key=key,
+                window=f"{window:g}",
+            )
+        self.registry.gauge(
+            "repro_slo_alerting",
+            help="1 when every window of the objective burns over threshold",
+            fn=lambda o=objective, k=key: 1.0 if self.is_alerting(o, k)
+            else 0.0,
+            objective=objective.name,
+            key=key,
+        )

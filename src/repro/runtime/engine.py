@@ -93,6 +93,18 @@ class PumpDriver:
         #: keeps the cycle path branch-predictable and allocation-free.
         self._obs_cycle = None
         self._obs_now = None
+        #: Flow tracer, bound by FlowTracer.attach: active-endpoint
+        #: births/deliveries plus the end-of-cycle sweep that attributes
+        #: in-section losses.  None when tracing is off.
+        self._flow = None
+        #: Bound end-of-cycle sweep: the carried deque and fork-anchor
+        #: cell are checked inline in the cycle loop; the closure
+        #: (FlowTracer.cycle_end_fn) is the slow path for stranded
+        #: sampled contexts.
+        self._flow_carried = None
+        self._flow_pending = None
+        self._flow_last = None
+        self._flow_cycle_end = None
 
     # -- setup -------------------------------------------------------------
 
@@ -257,10 +269,15 @@ class PumpDriver:
                 yield from push(EOS)
             self.finish()
         else:
+            flow = self._flow
             if pull is not None:
                 origin.stats["items_in"] += 1
             else:
                 origin.stats["items_out"] += 1
+                if flow is not None:
+                    # Active source: the item is born here, not in a
+                    # compiled source walker.
+                    flow.birth(self.thread_name)
 
             if push is not None:
                 yield from push(item)
@@ -272,7 +289,22 @@ class PumpDriver:
                 cost = self._origin_drain()
                 if cost > 0.0:
                     yield Work(cost)
+                if flow is not None:
+                    flow.deliver(self.thread_name, origin.name, 1)
 
+            if flow is not None:
+                # Cycle epilogue, inlined: unsampled leftovers are just a
+                # pending count (zeroed) or all-``None`` slots (one
+                # C-level clear); only a stranded sampled context pays
+                # the drain call.
+                carried = self._flow_carried
+                if carried:
+                    if any(carried):
+                        self._flow_cycle_end()
+                    else:
+                        carried.clear()
+                self._flow_pending[0] = 0
+                self._flow_last[0] = None
             self.items_moved += 1
             if obs_cycle is not None:
                 obs_cycle.observe(self._obs_now() - cycle_start)
@@ -356,10 +388,13 @@ class PumpDriver:
 
         if data:
             count = len(data)
+            flow = self._flow
             if pull_many is not None:
                 origin.stats["items_in"] += count
             else:
                 origin.stats["items_out"] += count
+                if flow is not None:
+                    flow.births(self.thread_name, count)
 
             if push_many is not None:
                 yield from push_many(data)
@@ -373,7 +408,19 @@ class PumpDriver:
                 cost = self._origin_drain()
                 if cost > 0.0:
                     yield Work(cost)
+                if flow is not None:
+                    flow.deliver(self.thread_name, origin.name, count)
 
+            if flow is not None:
+                # Same inlined epilogue as the per-item cycle above.
+                carried = self._flow_carried
+                if carried:
+                    if any(carried):
+                        self._flow_cycle_end()
+                    else:
+                        carried.clear()
+                self._flow_pending[0] = 0
+                self._flow_last[0] = None
             self.items_moved += count
             self.batches += 1
             self.batched_items += count
@@ -384,7 +431,11 @@ class PumpDriver:
             else:
                 self.flush_dry += 1
             if obs_cycle is not None:
-                obs_cycle.observe(self._obs_now() - cycle_start)
+                # Weighted by the items inside the run, so stage-latency
+                # percentiles in stats.summary() count items, not runs.
+                obs_cycle.observe_count(
+                    self._obs_now() - cycle_start, count
+                )
         elif not eos:
             self.nil_cycles += 1
             if self.timer is None:
@@ -813,6 +864,9 @@ class Engine:
         #: Observability front-end (repro.obs.Telemetry) when attached;
         #: None keeps every hook in the runtime inert.
         self._telemetry: Any = None
+        #: Causal flow tracer (repro.obs.FlowTracer) when attached; the
+        #: compiled walkers bind traced variants only while this is set.
+        self._flow_tracer: Any = None
         #: Committed live restructurings (repro.runtime.restructure
         #: Replacement records), in application order — the audit trail
         #: refinement certificates archive.

@@ -157,6 +157,13 @@ class BufferGate:
     / ``buffer-space`` messages when the state changes.
     """
 
+    #: Flow tracer and its key for this boundary (repro.obs.flow).  Set by
+    #: FlowTracer.attach; both stay None when tracing is off, so the data
+    #: path pays one identity check per successful transfer and no new
+    #: scheduler events ever (golden traces unchanged).
+    _flow = None
+    _flow_key = None
+
     def __init__(self, engine: "Engine", buffer):
         self.engine = engine
         self.buffer = buffer
@@ -173,6 +180,10 @@ class BufferGate:
         while True:
             status = self.buffer.try_push(item, port)
             if status != FULL:
+                if self._flow is not None and item is not EOS:
+                    self._flow.boundary_put(
+                        self._flow_key, port, ctx.thread_name, 1
+                    )
                 yield from self._wake_pullers(ctx)
                 return
             self._push_waiters.append(ctx.thread_name)
@@ -182,6 +193,14 @@ class BufferGate:
         while True:
             status, item = self.buffer.try_pull(port)
             if status != EMPTY:
+                if (
+                    self._flow is not None
+                    and item is not EOS
+                    and item is not NIL
+                ):
+                    self._flow.boundary_get(
+                        self._flow_key, port, ctx.thread_name, 1
+                    )
                 yield from self._wake_pushers(ctx)
                 return item
             self._pull_waiters.append(ctx.thread_name)
@@ -206,6 +225,10 @@ class BufferGate:
                         break
                     taken += 1
             if taken:
+                if self._flow is not None:
+                    self._flow.boundary_put(
+                        self._flow_key, port, ctx.thread_name, taken
+                    )
                 yield from self._wake_pullers(ctx)
                 start += taken
                 if start >= total:
@@ -239,6 +262,14 @@ class BufferGate:
                 if run or status != EMPTY:
                     status = OK
             if status != EMPTY:
+                if self._flow is not None:
+                    count = len(run)
+                    if count and run[-1] is EOS:
+                        count -= 1
+                    if count:
+                        self._flow.boundary_get(
+                            self._flow_key, port, ctx.thread_name, count
+                        )
                 yield from self._wake_pushers(ctx)
                 return run
             self._pull_waiters.append(ctx.thread_name)
@@ -563,18 +594,33 @@ def _compile_coro_pull(ctx: ThreadCtx, component):
                 continue
             return reply.payload
 
-    if hist is None:
-        return coro_pull
+    base = coro_pull
+    if hist is not None:
+        now = engine._telemetry.now
 
-    now = engine._telemetry.now
+        def coro_pull_timed():
+            start = now()
+            value = yield from coro_pull()
+            hist.observe(now() - start)
+            return value
 
-    def coro_pull_timed():
-        start = now()
-        value = yield from coro_pull()
-        hist.observe(now() - start)
+        base = coro_pull_timed
+
+    flow = engine._flow_tracer
+    if flow is None:
+        return base
+
+    # The pulled item crossed from the coroutine's thread to ours: its
+    # positional context crosses with it.
+    inner = base
+
+    def coro_pull_flow():
+        value = yield from inner()
+        if value is not EOS and value is not NIL:
+            flow.transfer(target, sender, 1)
         return value
 
-    return coro_pull_timed
+    return coro_pull_flow
 
 
 def _coro_histogram(engine, component):
@@ -623,17 +669,31 @@ def _compile_coro_push(ctx: ThreadCtx, component):
                 continue
             return
 
-    if hist is None:
-        return coro_push
+    base = coro_push
+    if hist is not None:
+        now = engine._telemetry.now
 
-    now = engine._telemetry.now
+        def coro_push_timed(item):
+            start = now()
+            yield from coro_push(item)
+            hist.observe(now() - start)
 
-    def coro_push_timed(item):
-        start = now()
-        yield from coro_push(item)
-        hist.observe(now() - start)
+        base = coro_push_timed
 
-    return coro_push_timed
+    flow = engine._flow_tracer
+    if flow is None:
+        return base
+
+    # The context moves before the Send: the coroutine's own walkers pop
+    # it from *its* carried deque while handling the push.
+    inner = base
+
+    def coro_push_flow(item):
+        if item is not EOS and item is not NIL:
+            flow.transfer(sender, target, 1)
+        yield from inner(item)
+
+    return coro_push_flow
 
 
 def compile_pull(ctx: ThreadCtx, target: FlowTarget):
@@ -665,7 +725,39 @@ def compile_pull(ctx: ThreadCtx, target: FlowTarget):
                 yield Work(cost)
             return item
 
-        return source_pull
+        flow = engine._flow_tracer
+        if flow is None:
+            return source_pull
+        # Traced variant (bound only while a FlowTracer is attached): a
+        # gate-less boundary pull is where items enter the world, so each
+        # data item claims a positional slot in this thread's carried
+        # lineage (a context when sampled, a deferred None otherwise).
+        # The body is source_pull's, restated rather than wrapped: a
+        # ``yield from`` wrapper would create a second generator per
+        # item, which alone blows the sampled-tracing overhead budget.
+        # The unsampled fast path is two integer cell stores — the slot
+        # is only materialized if a slow-path op needs the positions.
+        births, every, pending, sampled_birth = flow.birth_parts(
+            ctx.thread_name
+        )
+
+        def source_pull_traced():
+            item = serve()
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            if item is not EOS and item is not NIL:
+                n = births[0] + 1
+                births[0] = n
+                if n % every:
+                    pending[0] += 1
+                else:
+                    sampled_birth()
+            return item
+
+        return source_pull_traced
 
     node_pull = _compile_pull_node(ctx, target)
     lock = engine.lock_for(target.component)
@@ -803,7 +895,51 @@ def compile_push(ctx: ThreadCtx, target: FlowTarget):
                     component._cost_accumulator = 0.0
                 yield Work(cost)
 
-        return sink_push
+        flow = engine._flow_tracer
+        if flow is None:
+            return sink_push
+        thread = ctx.thread_name
+        if getattr(component, "wire_sink", False):
+            # Netpipe crossing: stage the item's context on the sender so
+            # the outgoing packet carries it as a side-chunk.
+            def wire_sink_push(item):
+                if item is not EOS:
+                    flow.stage_wire(component, thread, 1)
+                yield from sink_push(item)
+
+            return wire_sink_push
+
+        # Restates sink_push's body (see source_pull_traced above): one
+        # generator per delivered item, not two.  The delivery fast path
+        # — pop the item's positional slot, anchor it for forks — is
+        # inlined too; only sampled contexts and underflow forks call.
+        carried, carried_popleft, pending, last_cell, finish_delivered, \
+            slow_deliver = flow.deliver_parts(thread, component.name)
+
+        def sink_push_traced(item):
+            if item is EOS:
+                note_sink_eos(component)
+                if on_eos is not None:
+                    on_eos()
+                return
+            receive(item)
+            cost = component._cost_accumulator if stock_drain else drain()
+            if cost > 0.0:
+                if stock_drain:
+                    component._cost_accumulator = 0.0
+                yield Work(cost)
+            if carried:
+                flow_ctx = carried_popleft()
+                last_cell[0] = flow_ctx
+                if flow_ctx is not None:
+                    finish_delivered(flow_ctx)
+            elif pending[0]:
+                pending[0] -= 1
+                last_cell[0] = None
+            else:
+                slow_deliver()
+
+        return sink_push_traced
 
     node_push = _compile_push_node(ctx, target)
     lock = engine.lock_for(target.component)
@@ -984,6 +1120,29 @@ def _compile_pull_plain(ctx: ThreadCtx, target: FlowTarget):
         if engine.gate_for(component) is not None:
             return None
         serve = _bind_serve_pull(component, target.port.name)
+        flow = engine._flow_tracer
+        if flow is not None:
+            base_serve = serve
+            # Same inlined birth fast path as source_pull_traced: two
+            # integer cell stores per unsampled item, no extra call frame
+            # (this is the hot source path under demand-predicting
+            # producers, where the per-call cost is paid per *item*).
+            births, every, pending, sampled_birth = flow.birth_parts(
+                ctx.thread_name
+            )
+
+            def serve_traced():
+                item = base_serve()
+                if item is not EOS and item is not NIL:
+                    n = births[0] + 1
+                    births[0] = n
+                    if n % every:
+                        pending[0] += 1
+                    else:
+                        sampled_birth()
+                return item
+
+            serve = serve_traced
         return serve, [_bind_drain_fn(component)]
 
     component = target.component
@@ -1140,6 +1299,11 @@ def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
             stats = component.stats
             take_cost = _bind_drain_fn(component)
 
+            flow = engine._flow_tracer
+            births = (
+                None if flow is None else flow.births_fn(ctx.thread_name)
+            )
+
             def source_pull_many(n):
                 run = pull_run(n)
                 count = len(run)
@@ -1148,6 +1312,8 @@ def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
                         count -= 1
                     if count:
                         stats["items_out"] += count
+                        if births is not None:
+                            births(count)
                 cost = take_cost()
                 if cost > 0.0:
                     yield Work(cost)
@@ -1235,14 +1401,30 @@ def compile_pull_many(ctx: ThreadCtx, target: FlowTarget):
     return generic_pull_many
 
 
+def _run_data_count(run) -> int:
+    """Data items in a run (excluding a trailing EOS; columnar runs are
+    pure data by convention)."""
+    count = len(run)
+    if count and not getattr(run, "columnar", False) and run[-1] is EOS:
+        count -= 1
+    return count
+
+
 def _compile_coro_pull_many(ctx: ThreadCtx, component):
-    """Bound ip-pull-batch round trip: one crossing per run."""
+    """Bound ip-pull-batch round trip: one crossing per run.
+
+    Like the per-item crossing, binds a timed variant when telemetry is
+    attached — weighted by the *items* inside the run (observe_count), so
+    ``wait_p*`` summaries count items, not runs, at batch_max > 1 — and a
+    flow variant when a tracer is attached.
+    """
     engine = ctx.engine
     target = engine.thread_of(component)
     sender = ctx.thread_name
     thread = engine.scheduler.threads[sender]
     dispatch_event = ctx.dispatch_event_message
     counter = engine._switch_counter()
+    hist = _coro_histogram(engine, component)
 
     def coro_pull_many(n):
         message = thread._current_message
@@ -1267,17 +1449,46 @@ def _compile_coro_pull_many(ctx: ThreadCtx, component):
                 continue
             return reply.payload
 
-    return coro_pull_many
+    base = coro_pull_many
+    if hist is not None:
+        now = engine._telemetry.now
+
+        def coro_pull_many_timed(n):
+            start = now()
+            run = yield from coro_pull_many(n)
+            hist.observe_count(now() - start, _run_data_count(run) or 1)
+            return run
+
+        base = coro_pull_many_timed
+
+    flow = engine._flow_tracer
+    if flow is None:
+        return base
+    inner = base
+
+    def coro_pull_many_flow(n):
+        run = yield from inner(n)
+        count = _run_data_count(run)
+        if count:
+            flow.transfer(target, sender, count)
+        return run
+
+    return coro_pull_many_flow
 
 
 def _compile_coro_push_many(ctx: ThreadCtx, component):
-    """Bound ip-push-batch round trip: one crossing per run."""
+    """Bound ip-push-batch round trip: one crossing per run.
+
+    Timed/flow variants mirror :func:`_compile_coro_pull_many`; pushed
+    runs are pure data, so the whole length counts.
+    """
     engine = ctx.engine
     target = engine.thread_of(component)
     sender = ctx.thread_name
     thread = engine.scheduler.threads[sender]
     dispatch_event = ctx.dispatch_event_message
     counter = engine._switch_counter()
+    hist = _coro_histogram(engine, component)
 
     def coro_push_many(items):
         message = thread._current_message
@@ -1302,7 +1513,27 @@ def _compile_coro_push_many(ctx: ThreadCtx, component):
                 continue
             return
 
-    return coro_push_many
+    base = coro_push_many
+    if hist is not None:
+        now = engine._telemetry.now
+
+        def coro_push_many_timed(items):
+            start = now()
+            yield from coro_push_many(items)
+            hist.observe_count(now() - start, len(items) or 1)
+
+        base = coro_push_many_timed
+
+    flow = engine._flow_tracer
+    if flow is None:
+        return base
+    inner = base
+
+    def coro_push_many_flow(items):
+        flow.transfer(sender, target, len(items))
+        yield from inner(items)
+
+    return coro_push_many_flow
 
 
 def compile_push_many(ctx: ThreadCtx, target: FlowTarget):
@@ -1324,6 +1555,7 @@ def compile_push_many(ctx: ThreadCtx, target: FlowTarget):
             return gate_push_many
 
         take_cost = _bind_drain_fn(component)
+        flow = engine._flow_tracer
         push_many_impl = getattr(component, "push_many", None)
         if push_many_impl is not None:
             # Coalescing sink (NetpipeSender): one frame per run.
@@ -1336,7 +1568,17 @@ def compile_push_many(ctx: ThreadCtx, target: FlowTarget):
                 if cost > 0.0:
                     yield Work(cost)
 
-            return frame_sink_push_many
+            if flow is None or not getattr(component, "wire_sink", False):
+                return frame_sink_push_many
+            thread = ctx.thread_name
+
+            def wire_sink_push_many(items):
+                # Stage the run's contexts before the send so the frame
+                # carries them as its trace-context side-chunk.
+                flow.stage_wire(component, thread, len(items))
+                yield from frame_sink_push_many(items)
+
+            return wire_sink_push_many
 
         receive = _bind_receive_push(component, port)
 
@@ -1347,7 +1589,15 @@ def compile_push_many(ctx: ThreadCtx, target: FlowTarget):
             if cost > 0.0:
                 yield Work(cost)
 
-        return sink_push_many
+        if flow is None:
+            return sink_push_many
+        deliver_many = flow.deliver_many_fn(ctx.thread_name, component.name)
+
+        def sink_push_many_traced(items):
+            yield from sink_push_many(items)
+            deliver_many(len(items))
+
+        return sink_push_many_traced
 
     node_many = _compile_push_node_many(ctx, target)
     lock = engine.lock_for(target.component)

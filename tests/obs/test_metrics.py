@@ -112,18 +112,39 @@ class TestHistogram:
         # Fixed-size state regardless of stream length.
         assert len(hist.counts) == len(hist.bucket_bounds()) + 1
 
-    def test_samples_emit_only_nonempty_buckets(self):
+    def test_samples_emit_full_cumulative_ladder(self):
         hist = Histogram("h")
         hist.observe(0.004)
         hist.observe(0.004)
         rows = list(hist.samples())
         bucket_rows = [r for r in rows if r[0] == "h_bucket"]
-        # one non-empty bound plus +Inf
-        assert len(bucket_rows) == 2
+        # Every configured bound (empty or not) plus +Inf: the stable
+        # le-series a Prometheus histogram_quantile needs.
+        assert len(bucket_rows) == len(hist.bucket_bounds()) + 1
         assert bucket_rows[-1][1][-1] == ("le", "+Inf")
         assert bucket_rows[-1][2] == 2
+        # Cumulative and monotonic across the ladder.
+        counts = [r[2] for r in bucket_rows]
+        assert counts == sorted(counts)
         assert rows[-2][0] == "h_sum"
         assert rows[-1] == ("h_count", (), 2)
+
+    def test_observe_count_weights_by_items(self):
+        hist = Histogram("h")
+        hist.observe_count(0.004, 5)
+        hist.observe_count(0.012, 3)
+        hist.observe_count(0.5, 0)  # no-op
+        assert hist.count == 8
+        assert hist.sum == pytest.approx(0.004 * 5 + 0.012 * 3)
+        assert hist.min == pytest.approx(0.004)
+        assert hist.max == pytest.approx(0.012)
+        # Equivalent to n plain observes, bucket for bucket.
+        plain = Histogram("p")
+        for _ in range(5):
+            plain.observe(0.004)
+        for _ in range(3):
+            plain.observe(0.012)
+        assert hist.counts == plain.counts
 
 
 class TestRegistry:

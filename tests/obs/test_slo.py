@@ -1,0 +1,200 @@
+"""SLO engine: objectives, sliding windows, burn rates, the sensor."""
+
+import pytest
+
+from repro import (
+    Buffer,
+    ClockedPump,
+    CollectSink,
+    Engine,
+    GreedyPump,
+    IterSource,
+    OnFull,
+    pipeline,
+)
+from repro.feedback import SloBurnSensor
+from repro.errors import FeedbackError
+from repro.obs import FlowTracer, MetricsRegistry, Objective, SloEngine
+from repro.obs.flow import DELIVERED, DROPPED, TraceContext
+from repro.obs.slo import LATENCY_P99
+
+
+def _trace(trace_id, birth, end, status=DELIVERED):
+    ctx = TraceContext(trace_id, birth, "service", "pump")
+    ctx.finish(end, status)
+    from repro.obs.flow import FlowTrace
+
+    return FlowTrace(ctx)
+
+
+class TestObjective:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Objective("x", "availability", target=0.999)
+
+    def test_rejects_empty_windows(self):
+        with pytest.raises(ValueError):
+            Objective("x", LATENCY_P99, target=0.1, windows=())
+
+    def test_delivered_fraction_budget_defaults_to_complement(self):
+        objective = Objective("d", "delivered_fraction", target=0.99)
+        assert objective.budget == pytest.approx(0.01)
+
+    def test_latency_bad_when_slow_or_undelivered(self):
+        objective = Objective("l", LATENCY_P99, target=0.05)
+        assert not objective.is_bad(_trace("a", 0.0, 0.01), None)
+        assert objective.is_bad(_trace("b", 0.0, 0.2), None)
+        assert objective.is_bad(_trace("c", 0.0, 0.01, DROPPED), None)
+
+
+class TestSloEngine:
+    def _engine(self, **kwargs):
+        objective = Objective(
+            "lat", LATENCY_P99, target=0.05, windows=(1.0, 10.0), **kwargs
+        )
+        clock = {"t": 0.0}
+        engine = SloEngine([objective], now=lambda: clock["t"])
+        return engine, objective, clock
+
+    def test_burn_rate_zero_when_all_good(self):
+        engine, _, clock = self._engine()
+        for i in range(20):
+            engine.observe_trace(_trace(f"t{i}", i * 0.01, i * 0.01 + 0.001))
+        clock["t"] = 0.2
+        assert all(rate == 0.0 for rate in engine.burn_rates().values())
+        assert engine.alerts() == []
+
+    def test_all_bad_burns_at_inverse_budget(self):
+        engine, objective, clock = self._engine()
+        for i in range(10):
+            engine.observe_trace(_trace(f"t{i}", i * 0.01, i * 0.01 + 1.0))
+        clock["t"] = 1.1
+        rates = engine.burn_rates()
+        # 100% bad over a 1% budget = burn rate 100.
+        assert rates[("lat", "", 1.0)] == pytest.approx(100.0)
+        assert engine.alerts()
+        assert engine.alerts()[0]["objective"] == "lat"
+
+    def test_multi_window_requires_both_to_burn(self):
+        """Old badness outside the short window must not alert."""
+        engine, objective, clock = self._engine()
+        # Bad events early ...
+        for i in range(5):
+            engine.observe_trace(_trace(f"bad{i}", 0.0, 0.5 + i * 0.01))
+        # ... then a long stretch of good ones.
+        for i in range(50):
+            ts = 2.0 + i * 0.1
+            engine.observe_trace(_trace(f"good{i}", ts, ts + 0.001))
+        clock["t"] = 7.5
+        rates = engine.burn_rates()
+        assert rates[("lat", "", 1.0)] == 0.0     # short window clean
+        assert rates[("lat", "", 10.0)] > 1.0     # long window still burnt
+        assert not engine.is_alerting(objective)
+
+    def test_window_eviction_bounds_memory(self):
+        engine, _, clock = self._engine()
+        for i in range(1000):
+            ts = i * 0.1
+            engine.observe_trace(_trace(f"t{i}", ts, ts + 0.001))
+        series = engine._series[("lat", "")]
+        # Only the longest window (10s = 100 events at 10/s) is retained.
+        assert series.total <= 102
+
+    def test_keyed_objective_tracks_series_per_key(self):
+        objective = Objective(
+            "lat", LATENCY_P99, target=0.05, windows=(1.0,),
+            key=lambda trace: trace.site or "",
+        )
+        engine = SloEngine([objective], now=lambda: 1.0)
+        slow = _trace("a", 0.0, 0.9)
+        slow._ctx.site = "tenant-a"
+        fast = _trace("b", 0.5, 0.501)
+        fast._ctx.site = "tenant-b"
+        engine.observe_trace(slow)
+        engine.observe_trace(fast)
+        rates = engine.burn_rates()
+        assert rates[("lat", "tenant-a", 1.0)] > 1.0
+        assert rates[("lat", "tenant-b", 1.0)] == 0.0
+
+    def test_freshness_burns_on_stalls(self):
+        objective = Objective(
+            "fresh", "freshness", target=0.1, windows=(10.0,)
+        )
+        clock = {"t": 0.0}
+        engine = SloEngine([objective], now=lambda: clock["t"])
+        engine.observe_trace(_trace("a", 0.0, 0.0))
+        engine.observe_trace(_trace("b", 0.0, 0.05))   # gap 0.05: fine
+        engine.observe_trace(_trace("c", 0.0, 1.0))    # gap 0.95: stale
+        clock["t"] = 1.0
+        rates = engine.burn_rates()
+        assert rates[("fresh", "", 10.0)] > 0.0
+
+    def test_gauges_published_into_registry(self):
+        registry = MetricsRegistry()
+        objective = Objective("lat", LATENCY_P99, target=0.05, windows=(1.0,))
+        engine = SloEngine(
+            [objective], now=lambda: 0.5, registry=registry
+        )
+        engine.observe_trace(_trace("a", 0.0, 0.4))
+        burn = registry.get(
+            "repro_slo_burn_rate", objective="lat", key="", window="1"
+        )
+        assert burn is not None and burn.value == pytest.approx(100.0)
+        alerting = registry.get(
+            "repro_slo_alerting", objective="lat", key=""
+        )
+        assert alerting is not None and alerting.value == 1.0
+
+
+class TestEndToEnd:
+    def test_subscribes_to_tracer_completions(self):
+        buffer = Buffer(capacity=4, on_full=OnFull.DROP_OLD)
+        pipe = pipeline(
+            IterSource(range(50)), GreedyPump(), buffer,
+            ClockedPump(10.0), CollectSink(),
+        )
+        engine = Engine(pipe)
+        tracer = FlowTracer(sample_every=1).attach(engine)
+        slo = SloEngine(
+            [
+                Objective(
+                    "delivery", "delivered_fraction", target=0.99,
+                    windows=(0.5, 5.0),
+                ),
+            ],
+        ).attach(tracer)
+        engine.start()
+        engine.run(until=1.0)
+        engine.stop()
+        engine.run(max_steps=200_000)
+        tracer.finalize_inflight()
+        # The drop-old buffer shredded the stream; the objective burns.
+        assert tracer.traces(DROPPED)
+        rates = slo.burn_rates()
+        assert rates[("delivery", "", 5.0)] > 1.0
+        assert slo.alerts()
+
+
+class TestSloBurnSensor:
+    def test_samples_the_selected_window(self):
+        objective = Objective("lat", LATENCY_P99, target=0.05,
+                              windows=(1.0, 10.0))
+        engine = SloEngine([objective], now=lambda: 0.5)
+        engine.observe_trace(_trace("a", 0.0, 0.4))
+        sensor = SloBurnSensor(engine, "lat")
+        assert sensor.window == 1.0  # defaults to the shortest window
+        assert sensor.sample() == pytest.approx(100.0)
+        long_sensor = SloBurnSensor(engine, "lat", window=10.0)
+        assert long_sensor.sample() == pytest.approx(100.0)
+
+    def test_unknown_objective_is_a_feedback_error(self):
+        engine = SloEngine(
+            [Objective("lat", LATENCY_P99, target=0.05)]
+        )
+        with pytest.raises(FeedbackError):
+            SloBurnSensor(engine, "nope")
+
+    def test_missing_series_samples_default(self):
+        engine = SloEngine([Objective("lat", LATENCY_P99, target=0.05)])
+        sensor = SloBurnSensor(engine, "lat", default=0.0)
+        assert sensor.sample() == 0.0
