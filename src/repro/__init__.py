@@ -102,8 +102,10 @@ from repro.runtime import (
     attach_adaptive_batching,
     run_pipeline,
 )
+from repro import api
+from repro.deploy import Deployment, DeploymentResult, Placement, deploy
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "ANY",
@@ -169,9 +171,14 @@ __all__ = [
     "Typespec",
     "TypespecMismatch",
     "ZipBuffer",
+    "Deployment",
+    "DeploymentResult",
+    "Placement",
     "allocate",
+    "api",
     "attach_adaptive_batching",
     "connect",
+    "deploy",
     "is_eos",
     "is_nil",
     "pipeline",

@@ -6,6 +6,9 @@
     python -m repro run pipeline.ipc --until 10
     python -m repro run pipeline.ipc --metrics --trace-out trace.json
     python -m repro run pipeline.ipc --until 5 --serve-metrics 0 --serve-for 2
+    python -m repro run pipeline.ipc --shards 4
+    python -m repro deploy pipeline.ipc --shards 4 --describe
+    python -m repro deploy pipeline.ipc --shards 2 --transport tcp
     python -m repro top pipeline.ipc --until 5
     python -m repro timeline pipeline.ipc --until 5
     python -m repro components
@@ -18,11 +21,18 @@ flow tracer (1-in-N items), with ``--trace-out``/``--events-out``/
 ``--flow-out`` it exports a Chrome trace-event JSON (flow arrows
 included when tracing is on) / JSONL event log / JSONL flow-trace log,
 and with ``--serve-metrics PORT`` it serves the Prometheus exposition
-plus JSON flow/SLO snapshots over HTTP after the run; ``top`` runs the
-pipeline behind a live top(1)-style dashboard (curses on a terminal,
-plain frames elsewhere); ``timeline`` runs the pipeline traced and
-prints the text Gantt chart of which thread held the CPU;
-``components`` lists the factory names usable in descriptions.
+plus JSON flow/SLO snapshots over HTTP after the run; with ``--shards N``
+(N > 1) it delegates to ``deploy``.  ``deploy`` plans a multi-core
+placement (cutting only at Buffer/netpipe seams), runs one OS process
+per shard bridged over sockets, and prints the gathered statistics —
+``--describe`` prints the plan without running.  ``top`` runs the
+pipeline behind a live top(1)-style dashboard; ``timeline`` prints the
+text Gantt chart of which thread held the CPU; ``components`` lists the
+factory names usable in descriptions.
+
+Every execution command accepts ``--config file.toml`` as an escape
+hatch: flat keys (or a ``[command]`` table) provide defaults for any
+long option, with explicit command-line flags winning.
 """
 
 from __future__ import annotations
@@ -117,6 +127,8 @@ def _run_engine(args: argparse.Namespace, trace: bool = False):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "shards", None) is not None and args.shards > 1:
+        return cmd_deploy(args)
     engine, telemetry, tracer, slo = _run_engine(args)
     print(engine.stats.summary())
     if args.trace_out is not None:
@@ -165,6 +177,75 @@ def cmd_run(args: argparse.Namespace) -> int:
             pass
         finally:
             server.stop()
+    return 0
+
+
+def _parse_place(value: str) -> dict[str, int]:
+    """``name:0,other:1`` -> explicit component-to-shard map."""
+    mapping: dict[str, int] = {}
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, shard = entry.rpartition(":")
+        if not name:
+            raise InfopipeError(
+                f"--place entry {entry!r} is not name:shard"
+            )
+        mapping[name.strip()] = int(shard)
+    return mapping
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import Deployment, Placement
+
+    source = _load_source(args.pipeline)
+    place = getattr(args, "place", None)
+    if place:
+        placement = Placement.explicit(
+            _parse_place(place), shards=getattr(args, "shards", None)
+        )
+    else:
+        placement = Placement.auto(getattr(args, "shards", None) or 1)
+    deployment = Deployment(
+        source,
+        placement,
+        backend=args.backend,
+        batch_max=getattr(args, "batch_max", None),
+        transport=getattr(args, "transport", "socketpair"),
+        start_method=getattr(args, "start_method", None),
+        telemetry=getattr(args, "metrics", False),
+    )
+    if getattr(args, "describe", False):
+        print(deployment.describe())
+        return 0
+    result = deployment.run(timeout=getattr(args, "timeout", None))
+    summary = result.summary()
+    print(
+        f"shards={summary['shards']} transport={summary['transport']} "
+        f"completed={summary['completed']} "
+        f"wall={summary['wall_seconds']:.3f}s "
+        f"run={summary['run_seconds']:.3f}s"
+    )
+    for cut in summary["cuts"]:
+        print(f"  {cut}")
+    for shard, stats in sorted(result.stats.items()):
+        delivered = sum(
+            counters.get("items_in", 0)
+            for name, counters in stats["components"].items()
+            if name.endswith("sink") or "sink" in name
+        )
+        print(
+            f"  shard {shard}: threads={stats['threads']} "
+            f"switches={stats['context_switches']} "
+            f"messages={stats['messages_delivered']} "
+            f"sink_items={delivered}"
+        )
+    if getattr(args, "metrics", False):
+        from repro.obs import prometheus_text
+
+        print()
+        print(prometheus_text(result.merged_metrics()), end="")
     return 0
 
 
@@ -221,7 +302,13 @@ def cmd_components(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
+# ---------------------------------------------------------------------------
+# Shared option layers (run / top / timeline / deploy all build on these)
+# ---------------------------------------------------------------------------
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    """Execution options every pipeline-running command shares."""
     parser.add_argument("pipeline", help="description text or file path")
     parser.add_argument("--until", type=float, default=None,
                         help="virtual-time horizon (default: run to EOS)")
@@ -233,6 +320,76 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-max", type=int, default=None,
                         help="batched data plane: move up to N items per "
                              "pump cycle (default 1 = per-item)")
+    parser.add_argument("--config", default=None, metavar="FILE.toml",
+                        help="TOML file supplying defaults for any long "
+                             "option (explicit flags win); flat keys or "
+                             "a [command] table")
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Observability options shared by run / top / deploy."""
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach telemetry; print Prometheus "
+                             "exposition after the run")
+    parser.add_argument("--flow-sample", type=int, default=None,
+                        metavar="N",
+                        help="attach causal flow tracing, sampling "
+                             "1-in-N source items")
+    parser.add_argument("--slo-latency", type=float, default=0.1,
+                        metavar="SECONDS",
+                        help="p99 end-to-end latency objective used by "
+                             "the built-in SLOs (default 0.1)")
+
+
+def _add_deploy_options(parser: argparse.ArgumentParser) -> None:
+    """Sharded-execution options (deploy, and run --shards)."""
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="number of shard processes (placement cuts "
+                             "only at Buffer/netpipe seams)")
+    parser.add_argument("--place", default=None, metavar="NAME:SHARD,...",
+                        help="explicit component-to-shard assignment "
+                             "(default: auto planner)")
+    parser.add_argument("--transport", choices=("socketpair", "tcp"),
+                        default="socketpair",
+                        help="wire transport bridging cut edges")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method "
+                             "(default: platform default)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="seconds to wait for shards before failing")
+
+
+def _apply_config(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> None:
+    """Fold ``--config file.toml`` values into unset options.
+
+    Flat keys apply to every command; a table named after the command
+    (``[run]``, ``[deploy]``, ...) applies to that command only and wins
+    over flat keys.  Explicit command-line flags always win: a config
+    value is used only when the parsed value still equals the parser's
+    default."""
+    config_path = getattr(args, "config", None)
+    if not config_path:
+        return
+    import tomllib
+
+    with open(config_path, "rb") as handle:
+        document = tomllib.load(handle)
+    layered: dict[str, object] = {
+        key: value for key, value in document.items()
+        if not isinstance(value, dict)
+    }
+    layered.update(document.get(args.command, {}))
+    for key, value in layered.items():
+        dest = key.replace("-", "_")
+        if not hasattr(args, dest):
+            raise InfopipeError(
+                f"config key {key!r} is not an option of "
+                f"{args.command!r}"
+            )
+        if getattr(args, dest) == parser.get_default(dest):
+            setattr(args, dest, value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -249,9 +406,9 @@ def main(argv: list[str] | None = None) -> int:
     describe.set_defaults(handler=cmd_describe)
 
     run = commands.add_parser("run", help="execute a description")
-    _add_run_options(run)
-    run.add_argument("--metrics", action="store_true",
-                     help="attach telemetry; print Prometheus exposition")
+    _add_exec_options(run)
+    _add_telemetry_options(run)
+    _add_deploy_options(run)
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write a Chrome trace-event JSON file "
                           "(with flow arrows when tracing is on)")
@@ -259,9 +416,6 @@ def main(argv: list[str] | None = None) -> int:
                      help="write the scheduler event log as JSONL")
     run.add_argument("--flow-out", default=None, metavar="FILE",
                      help="write finished flow traces as JSONL")
-    run.add_argument("--flow-sample", type=int, default=None, metavar="N",
-                     help="attach causal flow tracing, sampling 1-in-N "
-                          "source items")
     run.add_argument("--serve-metrics", type=int, default=None,
                      metavar="PORT",
                      help="after the run, serve /metrics, /flow and /slo "
@@ -270,33 +424,36 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="SECONDS",
                      help="stop the metrics server after this long "
                           "(default: serve until interrupted)")
-    run.add_argument("--slo-latency", type=float, default=0.1,
-                     metavar="SECONDS",
-                     help="p99 end-to-end latency objective used by the "
-                          "built-in SLOs (default 0.1)")
     run.set_defaults(handler=cmd_run)
+
+    deploy = commands.add_parser(
+        "deploy",
+        help="run a description sharded over N processes",
+    )
+    _add_exec_options(deploy)
+    _add_telemetry_options(deploy)
+    _add_deploy_options(deploy)
+    deploy.add_argument("--describe", action="store_true",
+                        help="print the placement plan without running")
+    deploy.set_defaults(handler=cmd_deploy)
 
     top = commands.add_parser(
         "top", help="run a description behind a live dashboard"
     )
-    _add_run_options(top)
+    _add_exec_options(top)
+    _add_telemetry_options(top)
     top.add_argument("--interval", type=float, default=0.5,
                      help="virtual seconds advanced per frame")
     top.add_argument("--frames", type=int, default=None,
                      help="stop after N frames (default: run to the end)")
     top.add_argument("--plain", action="store_true",
                      help="print frames instead of the curses screen")
-    top.add_argument("--flow-sample", type=int, default=None, metavar="N",
-                     help="flow-trace sampling rate (default: every item)")
-    top.add_argument("--slo-latency", type=float, default=0.1,
-                     metavar="SECONDS",
-                     help="p99 end-to-end latency objective (default 0.1)")
     top.set_defaults(handler=cmd_top)
 
     timeline_cmd = commands.add_parser(
         "timeline", help="run traced and print the thread timeline"
     )
-    _add_run_options(timeline_cmd)
+    _add_exec_options(timeline_cmd)
     timeline_cmd.add_argument("--width", type=int, default=64,
                               help="timeline width in columns")
     timeline_cmd.set_defaults(handler=cmd_timeline)
@@ -306,8 +463,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     components.set_defaults(handler=cmd_components)
 
+    subparsers = {
+        "describe": describe, "run": run, "deploy": deploy, "top": top,
+        "timeline": timeline_cmd, "components": components,
+    }
     args = parser.parse_args(argv)
     try:
+        _apply_config(args, subparsers.get(args.command, parser))
         return args.handler(args)
     except InfopipeError as exc:
         print(f"error: {exc}", file=sys.stderr)

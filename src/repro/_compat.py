@@ -1,0 +1,21 @@
+"""Deprecation shims for pre-Deployment-API entry points.
+
+The PR that introduced :mod:`repro.api` and :mod:`repro.deploy` kept
+every old entry point working — they delegate to the new API and emit a
+:class:`DeprecationWarning` naming their replacement.  The migration
+table lives in ``docs/RUNTIME.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard migration warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(see docs/RUNTIME.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

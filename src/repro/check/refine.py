@@ -112,7 +112,7 @@ class PipelineUnderTest:
                 PipelineUnderTest.from_lang(SRC, batch_max=32),
             )
         """
-        from repro.lang import engine_builder
+        from repro.lang.builder import engine_builder
 
         return cls(
             build=engine_builder(source, registry=registry, **engine_kwargs),

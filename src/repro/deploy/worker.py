@@ -1,0 +1,411 @@
+"""Shard workers: build, cut, bridge and run one shard's engine.
+
+Each shard is one OS process running one :class:`~repro.runtime.engine
+.Engine`.  The worker rebuilds the *whole* pipeline from the deployment's
+program (a microlanguage source string or a picklable builder callable —
+nothing live crosses the process boundary), applies the plan's cuts,
+keeps only its own shard's connected subgraph, and bridges the cut edges
+with :class:`~repro.net.socketlink.SocketLink` transports whose socket
+ends the parent passed in.
+
+Lifecycle (the cross-process start/EOS/shutdown barrier):
+
+1. child builds its shard and reports ``("ready", shard)``;
+2. parent broadcasts ``("go",)`` once every shard is ready — children
+   time their run span from here, so spawn/import/build cost never
+   pollutes throughput numbers;
+3. the engine runs via :meth:`Engine.run_with_io`, pumping inbound
+   sockets between scheduler runs; EOS crosses the wire as a framed
+   message and completes downstream pump drivers;
+4. child reports ``("done", payload)`` with stats, a metrics dump and
+   its collected sink items, then waits for ``("exit",)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import pickle
+import time
+import traceback
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.components.buffers import OnEmpty
+from repro.core.component import Component
+from repro.core.composition import Pipeline, connect, derive_typespecs
+from repro.core.typespec import Typespec, props
+from repro.errors import DeployError
+from repro.deploy.placement import Cut
+from repro.net.marshal import MarshalFilter, UnmarshalFilter
+from repro.net.netpipe import NetpipeReceiver, NetpipeSender
+from repro.net.socketlink import SocketLink
+
+
+@dataclass
+class ShardSpec:
+    """Everything a shard process needs, in picklable form."""
+
+    shard: int
+    shards: int
+    #: Microlanguage source string or a picklable zero-arg callable
+    #: returning a composed Pipeline.
+    program: Any
+    assignment: dict[str, int]
+    cuts: tuple[Cut, ...] = ()
+    backend: str = "generator"
+    batch_max: int | None = None
+    collect_sinks: bool = True
+    telemetry: bool = False
+    flow_sample: int | None = None
+    engine_kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@contextlib.contextmanager
+def _fresh_names():
+    """Build under a private auto-naming scope.
+
+    Component auto-names draw from a process-global counter, so the same
+    program built twice (or built in a worker process that has already
+    imported other pipelines) would get different names — and the plan's
+    name → shard assignment would no longer match.  Swapping in fresh
+    counters makes every build of one program yield identical names in
+    every process."""
+    from repro.core import naming
+
+    saved = naming._counters
+    naming._counters = defaultdict(lambda: itertools.count(1))
+    try:
+        yield
+    finally:
+        naming._counters = saved
+
+
+def build_program(program: Any) -> Pipeline:
+    """Materialize a deployment program into a composed Pipeline."""
+    if isinstance(program, Pipeline):
+        return program
+    if isinstance(program, str):
+        from repro.lang.builder import build
+
+        with _fresh_names():
+            return build(program).pipeline
+    if callable(program):
+        with _fresh_names():
+            result = program()
+        if isinstance(result, Pipeline):
+            return result
+        pipeline = getattr(result, "pipeline", None)
+        if isinstance(pipeline, Pipeline):
+            return pipeline
+        raise DeployError(
+            f"program callable returned {type(result).__name__}, not a "
+            "Pipeline"
+        )
+    raise DeployError(
+        f"cannot build a pipeline from {type(program).__name__}; pass a "
+        "microlanguage source string or a callable returning a Pipeline"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cutting and bridging
+# ---------------------------------------------------------------------------
+
+
+def _disconnect(port) -> None:
+    peer = port.peer
+    port.peer = None
+    if peer is not None:
+        peer.peer = None
+
+
+def apply_cuts(
+    pipeline: Pipeline,
+    cuts: tuple[Cut, ...],
+    transport_for,
+) -> list[Component]:
+    """Realize every cut in place; returns the new bridge components.
+
+    ``transport_for(cut)`` returns ``(link, build_send, build_recv)``:
+    the transport object for this cut and which bridge halves to build
+    in this process (a shard only builds its own side; the co-simulated
+    twin builds both over one in-process link).
+    """
+    bridges: list[Component] = []
+    # The wire flow is plain bytes; the receiver must advertise the
+    # item-level spec it carries (same scheme as repro.net.remote), or the
+    # unmarshaller's downstream would see an untyped 'item' flow.
+    flow_specs = derive_typespecs(pipeline.components)
+    for cut in cuts:
+        link, build_send, build_recv = transport_for(cut)
+        if cut.kind == "netpipe":
+            _rehome_netpipe(pipeline, cut, link, build_send, build_recv)
+            continue
+        buffer = pipeline.component(cut.via)
+        upstream_out = buffer.in_port.peer
+        downstream_in = buffer.out_port.peer
+        carried = flow_specs.get(
+            buffer.out_port.qualified_name(), Typespec.any()
+        )
+        _disconnect(buffer.in_port)
+        _disconnect(buffer.out_port)
+        if build_send:
+            marshal = MarshalFilter(name=f"{cut.via}-wire-marshal")
+            sender = NetpipeSender(link, name=f"{cut.via}-wire-send")
+            connect(upstream_out, marshal.in_port, check_typespecs=False)
+            connect(marshal.out_port, sender.in_port, check_typespecs=False)
+            bridges += [marshal, sender]
+        if build_recv:
+            receiver = NetpipeReceiver(
+                link,
+                name=f"{cut.via}-wire-recv",
+                on_empty=OnEmpty(cut.on_empty),
+                flow_spec=Typespec(
+                    {props.FORMAT: "bytes", "carried": carried}
+                ),
+            )
+            unmarshal = UnmarshalFilter(name=f"{cut.via}-wire-unmarshal")
+            connect(receiver.out_port, unmarshal.in_port,
+                    check_typespecs=False)
+            connect(unmarshal.out_port, downstream_in,
+                    check_typespecs=False)
+            bridges += [receiver, unmarshal]
+    return bridges
+
+
+def _rehome_netpipe(pipeline, cut, link, build_send, build_recv) -> None:
+    """Swap an existing netpipe pair's simulated protocol for the real
+    link; only the halves present in this process are touched."""
+    if build_send:
+        sender = pipeline.component(cut.upstream)
+        sender.protocol = link
+        sender.location = link.src
+    if build_recv:
+        receiver = pipeline.component(cut.downstream)
+        receiver.protocol = link
+        receiver.location = link.dst
+        link.on_deliver(
+            receiver._deliver, receiver._deliver_eos,
+            receiver._deliver_frame,
+        )
+
+
+def extract_shard(
+    pipeline: Pipeline,
+    plan_assignment: dict[str, int],
+    cuts: tuple[Cut, ...],
+    shard: int,
+    bridges: list[Component],
+) -> Pipeline:
+    """The shard's connected subgraph after cuts, as a fresh Pipeline."""
+    replaced = {c.via for c in cuts if c.kind == "buffer"}
+    seed = [
+        c for c in pipeline.components
+        if plan_assignment.get(c.name) == shard and c.name not in replaced
+    ]
+    members: dict[int, Component] = {}
+    stack = list(seed)
+    while stack:
+        component = stack.pop()
+        if id(component) in members:
+            continue
+        members[id(component)] = component
+        other = plan_assignment.get(component.name)
+        if other is not None and other != shard \
+                and component.name not in replaced:
+            raise DeployError(
+                f"component {component.name!r} (shard {other}) is still "
+                f"wired into shard {shard}; the plan's cuts do not "
+                "separate them"
+            )
+        for port in component.ports.values():
+            if port.peer is not None:
+                stack.append(port.peer.component)
+    ordered = [
+        c for c in (*pipeline.components, *bridges) if id(c) in members
+    ]
+    if not ordered:
+        raise DeployError(f"shard {shard} has no components")
+    shard_pipe = Pipeline(ordered)
+    shard_pipe.derive_typespecs()
+    return shard_pipe
+
+
+def build_shard_pipeline(
+    spec: ShardSpec, sockets: dict[int, Any]
+) -> tuple[Pipeline, list[SocketLink]]:
+    """Build this shard's pipeline and its socket transports."""
+    pipeline = build_program(spec.program)
+    links: dict[int, SocketLink] = {}
+
+    def transport_for(cut: Cut):
+        build_send = cut.src_shard == spec.shard
+        build_recv = cut.dst_shard == spec.shard
+        if not (build_send or build_recv):
+            return None, False, False
+        sock = sockets[cut.index]
+        link = SocketLink(
+            sock_out=sock, sock_in=sock,
+            src=f"shard-{cut.src_shard}", dst=f"shard-{cut.dst_shard}",
+            flow=cut.via,
+        )
+        links[cut.index] = link
+        return link, build_send, build_recv
+
+    bridges = apply_cuts(pipeline, spec.cuts, transport_for)
+    shard_pipe = extract_shard(
+        pipeline, spec.assignment, spec.cuts, spec.shard, bridges
+    )
+    incoming = [
+        links[cut.index]
+        for cut in spec.cuts
+        if cut.dst_shard == spec.shard and cut.index in links
+    ]
+    return shard_pipe, incoming
+
+
+class ShardIO:
+    """The engine's I/O pump: inbound wire links plus the control pipe."""
+
+    def __init__(self, incoming: list[SocketLink], conn):
+        self.incoming = incoming
+        self.conn = conn
+        self.stop_requested = False
+
+    def pump(self) -> int:
+        return sum(link.pump() for link in self.incoming)
+
+    def wait(self, timeout: float) -> bool:
+        import select as _select
+
+        readables = [l for l in self.incoming if not l.peer_closed]
+        ready, _, _ = _select.select(
+            [*readables, self.conn], [], [], timeout
+        )
+        for item in ready:
+            if item is self.conn:
+                self._drain_control()
+        return any(item is not self.conn for item in ready)
+
+    def _drain_control(self) -> None:
+        while self.conn.poll():
+            message = self.conn.recv()
+            if message and message[0] in ("stop", "exit"):
+                self.stop_requested = True
+
+    def should_stop(self) -> bool:
+        if self.conn.poll():
+            self._drain_control()
+        return self.stop_requested
+
+
+def _collect_sink_items(pipeline: Pipeline) -> dict[str, list]:
+    """Picklable sink contents (CollectSink-style ``items`` lists)."""
+    collected = {}
+    for component in pipeline.components:
+        items = getattr(component, "items", None)
+        if isinstance(items, list):
+            try:
+                pickle.dumps(items)
+            except Exception:
+                collected[component.name] = [repr(i) for i in items]
+            else:
+                collected[component.name] = items
+    return collected
+
+
+def _stats_payload(engine) -> dict[str, Any]:
+    stats = engine.stats
+    return {
+        "components": stats.components,
+        "cycles": stats.cycles,
+        "nil_cycles": stats.nil_cycles,
+        "batching": stats.batching,
+        "retained": stats.retained,
+        "context_switches": stats.context_switches,
+        "coroutine_switches": stats.coroutine_switches,
+        "messages_delivered": stats.messages_delivered,
+        "time": stats.time,
+        "threads": stats.threads,
+    }
+
+
+def shard_main(spec: ShardSpec, conn, sockets: dict[int, Any]) -> None:
+    """Process entry point for one shard (top level: spawn-picklable)."""
+    links: list[SocketLink] = []
+    try:
+        from repro.runtime.engine import Engine
+
+        shard_pipe, incoming = build_shard_pipeline(spec, sockets)
+        engine = Engine(
+            shard_pipe,
+            backend=spec.backend,
+            batch_max=spec.batch_max,
+            **spec.engine_kwargs,
+        )
+        telemetry = None
+        if spec.telemetry:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry().attach(engine)
+        if spec.flow_sample is not None:
+            from repro.obs.flow import FlowTracer
+
+            FlowTracer(
+                sample_every=spec.flow_sample,
+                registry=telemetry.registry if telemetry else None,
+            ).attach(engine)
+        engine.setup()
+        io = ShardIO(incoming, conn)
+        conn.send(("ready", spec.shard))
+        message = conn.recv()
+        if not message or message[0] != "go":
+            return
+        started = time.perf_counter()
+        engine.start()
+        engine.run_with_io(io)
+        run_seconds = time.perf_counter() - started
+        payload: dict[str, Any] = {
+            "shard": spec.shard,
+            "run_seconds": run_seconds,
+            "completed": engine.completed,
+            "stats": _stats_payload(engine),
+            "sinks": (
+                _collect_sink_items(shard_pipe)
+                if spec.collect_sinks else {}
+            ),
+            "wire": {
+                cut.index: dict(link.stats)
+                for cut, link in _links_by_cut(spec, incoming)
+            },
+        }
+        if telemetry is not None:
+            from repro.obs.metrics import dump_registry
+
+            payload["metrics"] = dump_registry(telemetry.registry)
+        conn.send(("done", payload))
+        # Shutdown barrier: hold sockets open until the parent confirms
+        # every shard reported, so no peer sees a mid-stream close.
+        try:
+            conn.recv()
+        except EOFError:
+            pass
+    except Exception:
+        try:
+            conn.send(("error", spec.shard, traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        for link in links:
+            link.close()
+        conn.close()
+
+
+def _links_by_cut(spec: ShardSpec, incoming: list[SocketLink]):
+    by_flow = {link.flow: link for link in incoming}
+    for cut in spec.cuts:
+        link = by_flow.get(cut.via)
+        if link is not None:
+            yield cut, link

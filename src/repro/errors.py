@@ -111,3 +111,8 @@ class RemoteError(RuntimeFault):
 
 class FeedbackError(RuntimeFault):
     """A feedback loop was mis-configured (unknown sensor/actuator, ...)."""
+
+
+class DeployError(InfopipeError):
+    """A deployment could not be planned or executed (illegal cut point,
+    unbalanced placement, shard worker failure, ...)."""

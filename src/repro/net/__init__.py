@@ -31,17 +31,24 @@ from repro.net.marshal import (
     encode_item,
     register_codec,
 )
-from repro.net.netpipe import NetpipeReceiver, NetpipeSender, make_netpipe
+from repro.net.netpipe import (
+    NetpipeReceiver,
+    NetpipeSender,
+    make_netpipe,
+    make_netpipe_over,
+)
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packets import Packet
 from repro.net.protocols import DatagramProtocol, StreamProtocol
 from repro.net.qosmap import bandwidth_demand, netpipe_flow_props
 from repro.net.remote import RemoteBinder, RemoteFactory
+from repro.net.socketlink import InProcessLink, SocketLink
 
 __all__ = [
     "Codec",
     "DatagramProtocol",
+    "InProcessLink",
     "Link",
     "MarshalFilter",
     "NetpipeReceiver",
@@ -51,12 +58,14 @@ __all__ = [
     "Packet",
     "RemoteBinder",
     "RemoteFactory",
+    "SocketLink",
     "StreamProtocol",
     "UnmarshalFilter",
     "bandwidth_demand",
     "decode_item",
     "encode_item",
     "make_netpipe",
+    "make_netpipe_over",
     "netpipe_flow_props",
     "register_codec",
 ]

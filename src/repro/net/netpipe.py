@@ -291,31 +291,22 @@ class NetpipeReceiver(Component):
             self._gate.external_wake_pullers()
 
 
-def make_netpipe(
-    network: Network,
-    flow: str,
-    src_node: str,
-    dst_node: str,
-    protocol: str = "datagram",
+def make_netpipe_over(
+    transport: Any,
     on_empty: OnEmpty = OnEmpty.BLOCK,
     flow_spec: Typespec | None = None,
-    **protocol_kwargs: Any,
+    flow: str | None = None,
 ) -> tuple[NetpipeSender, NetpipeReceiver]:
-    """Build a netpipe pair over an existing link.
+    """Build a netpipe pair over a ready transport object.
 
-    ``protocol`` selects the transport: ``"datagram"`` (best effort) or
-    ``"stream"`` (reliable, in order).
+    ``transport`` is anything speaking the protocol interface — a
+    simulated :class:`~repro.net.protocols.Protocol`, a real-socket
+    :class:`~repro.net.socketlink.SocketLink`, or an in-process
+    :class:`~repro.net.socketlink.InProcessLink`.  The netpipe components
+    themselves are transport-agnostic; this is the factory the sharded
+    deployment layer (:mod:`repro.deploy`) uses to bridge cut edges.
     """
-    if protocol == "datagram":
-        transport: Protocol = DatagramProtocol(
-            network, flow, src_node, dst_node, **protocol_kwargs
-        )
-    elif protocol == "stream":
-        transport = StreamProtocol(
-            network, flow, src_node, dst_node, **protocol_kwargs
-        )
-    else:
-        raise RemoteError(f"unknown transport protocol {protocol!r}")
+    flow = flow or getattr(transport, "flow", "flow")
     sender = NetpipeSender(transport, name=f"netpipe-send-{flow}")
     receiver = NetpipeReceiver(
         transport,
@@ -324,3 +315,42 @@ def make_netpipe(
         flow_spec=flow_spec,
     )
     return sender, receiver
+
+
+def make_netpipe(
+    network: Network | None,
+    flow: str,
+    src_node: str,
+    dst_node: str,
+    protocol: str = "datagram",
+    on_empty: OnEmpty = OnEmpty.BLOCK,
+    flow_spec: Typespec | None = None,
+    transport: Any | None = None,
+    **protocol_kwargs: Any,
+) -> tuple[NetpipeSender, NetpipeReceiver]:
+    """Build a netpipe pair over an existing link.
+
+    ``protocol`` selects the simulated transport: ``"datagram"`` (best
+    effort) or ``"stream"`` (reliable, in order).  Passing a ready
+    ``transport`` object instead (e.g. a
+    :class:`~repro.net.socketlink.SocketLink`) makes ``network`` and the
+    ``protocol`` name irrelevant — the pair is built over it as-is.
+    """
+    if transport is None:
+        if network is None:
+            raise RemoteError(
+                "make_netpipe needs a Network (or an explicit transport=)"
+            )
+        if protocol == "datagram":
+            transport = DatagramProtocol(
+                network, flow, src_node, dst_node, **protocol_kwargs
+            )
+        elif protocol == "stream":
+            transport = StreamProtocol(
+                network, flow, src_node, dst_node, **protocol_kwargs
+            )
+        else:
+            raise RemoteError(f"unknown transport protocol {protocol!r}")
+    return make_netpipe_over(
+        transport, on_empty=on_empty, flow_spec=flow_spec, flow=flow
+    )

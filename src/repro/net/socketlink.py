@@ -1,0 +1,392 @@
+"""Real-socket netpipe transports: the deployment data plane.
+
+The simulated :class:`~repro.net.protocols.Protocol` family carries
+netpipe flows inside one discrete-event scheduler.  A sharded deployment
+(:mod:`repro.deploy`) needs the same flows carried **between OS
+processes**, so :class:`SocketLink` implements the protocol interface the
+netpipe pair already speaks — ``send`` / ``send_frame`` / ``send_eos`` on
+the producer side, ``on_deliver`` callbacks on the consumer side — over a
+real ``socket.socketpair()`` or TCP stream.  Because only the transport
+changes, ``marshal.encode_batch`` / ``EncodedRun`` zero-copy framing,
+flow-trace TLV side-chunks and QoS property stamping all transfer
+unchanged.
+
+Wire format: a 5-byte header per message — one kind byte (data / frame /
+eos) and a ``!I`` payload length — followed by the payload.  TCP/socketpair
+byte streams preserve order and never drop, so there is no
+sequence/retransmit machinery; OS socket buffers provide natural
+backpressure (a fast producer blocks in ``sendall`` until the consumer
+drains).
+
+:class:`InProcessLink` is the co-simulation twin used by
+``Deployment.simulate()``: the same interface with synchronous in-memory
+delivery, so a sharded cut can run inside ONE engine/scheduler where the
+refinement checker can explore schedules deterministically.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+from typing import Any, Callable
+
+from repro.errors import MarshalError, RemoteError
+
+#: Message kinds on the wire (one byte).
+_DATA = 0
+_FRAME = 1
+_EOS = 2
+
+_HEADER = struct.Struct("!BI")
+_RECV_CHUNK = 1 << 16
+
+
+class SocketLink:
+    """Netpipe transport over a real stream socket.
+
+    Parameters
+    ----------
+    sock_out:
+        Socket used for sends; ``None`` for a receive-only end.
+    sock_in:
+        Socket used for receives; ``None`` for a send-only end.  May be
+        the same object as ``sock_out`` (full duplex, the deployment
+        case: each shard wraps its own end of a socketpair).
+    src / dst:
+        Node names stamped onto the netpipe components' ``location``.
+    """
+
+    def __init__(
+        self,
+        sock_out: socket.socket | None = None,
+        sock_in: socket.socket | None = None,
+        src: str = "local",
+        dst: str = "remote",
+        flow: str = "flow",
+    ):
+        self._sock_out = sock_out
+        self._sock_in = sock_in
+        self.src = src
+        self.dst = dst
+        self.flow = flow
+        self.stats = {
+            "sent": 0,
+            "delivered": 0,
+            "retransmits": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "frames_sent": 0,
+        }
+        self.eos_sent = False
+        self.eos_received = False
+        self.peer_closed = False
+        self._buf = bytearray()
+        self._deliver: Callable[[bytes], None] | None = None
+        self._deliver_eos: Callable[[], None] | None = None
+        self._deliver_frame: Callable[[bytes], None] | None = None
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def pair(
+        cls, src: str = "shard-0", dst: str = "shard-1", flow: str = "flow"
+    ) -> tuple["SocketLink", "SocketLink"]:
+        """A connected (sender-end, receiver-end) link pair over a
+        ``socket.socketpair()`` — one object per process end."""
+        a, b = socket.socketpair()
+        tx = cls(sock_out=a, sock_in=a, src=src, dst=dst, flow=flow)
+        rx = cls(sock_out=b, sock_in=b, src=src, dst=dst, flow=flow)
+        return tx, rx
+
+    @classmethod
+    def loopback(
+        cls, src: str = "local", dst: str = "local", flow: str = "flow"
+    ) -> "SocketLink":
+        """ONE link whose sends come back to its own receive side through
+        a real socketpair — a single-process netpipe over real sockets
+        (``make_netpipe(transport=SocketLink.loopback())``).  Sharing one
+        object between sender and receiver keeps the refinement checker's
+        sender/receiver pairing (``id(protocol)``) intact."""
+        a, b = socket.socketpair()
+        return cls(sock_out=a, sock_in=b, src=src, dst=dst, flow=flow)
+
+    @classmethod
+    def tcp_pair(
+        cls,
+        src: str = "shard-0",
+        dst: str = "shard-1",
+        flow: str = "flow",
+        host: str = "127.0.0.1",
+    ) -> tuple["SocketLink", "SocketLink"]:
+        """Like :meth:`pair` but over a real localhost TCP connection."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind((host, 0))
+            listener.listen(1)
+            client = socket.create_connection(listener.getsockname())
+            server, _ = listener.accept()
+        finally:
+            listener.close()
+        client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        server.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        tx = cls(sock_out=client, sock_in=client, src=src, dst=dst, flow=flow)
+        rx = cls(sock_out=server, sock_in=server, src=src, dst=dst, flow=flow)
+        return tx, rx
+
+    # -- sender side --------------------------------------------------------
+
+    def _sendall(self, kind: int, payload) -> None:
+        if self._sock_out is None:
+            raise RemoteError(
+                f"link {self.flow!r} has no outbound socket; this is the "
+                "receive-only end"
+            )
+        length = len(payload)
+        self._sock_out.sendall(_HEADER.pack(kind, length))
+        if length:
+            self._sock_out.sendall(payload)
+        self.stats["bytes_sent"] += length
+
+    def send(self, payload) -> None:
+        self._sendall(_DATA, payload)
+        self.stats["sent"] += 1
+
+    def send_frame(self, payload) -> None:
+        self._sendall(_FRAME, payload)
+        self.stats["sent"] += 1
+        self.stats["frames_sent"] += 1
+
+    def send_eos(self) -> None:
+        if self.eos_sent:
+            return
+        self.eos_sent = True
+        self._sendall(_EOS, b"")
+
+    # -- receiver side ------------------------------------------------------
+
+    def on_deliver(
+        self,
+        deliver: Callable[[bytes], None],
+        deliver_eos: Callable[[], None],
+        deliver_frame: Callable[[bytes], None] | None = None,
+    ) -> None:
+        self._deliver = deliver
+        self._deliver_eos = deliver_eos
+        self._deliver_frame = deliver_frame
+
+    def receiver_loss_sample(self) -> float:
+        """Stream sockets are reliable and in order: wire loss is 0."""
+        return 0.0
+
+    def fileno(self) -> int:
+        if self._sock_in is None:
+            raise RemoteError(f"link {self.flow!r} has no inbound socket")
+        return self._sock_in.fileno()
+
+    def readable(self, timeout: float = 0.0) -> bool:
+        """True when at least one byte (or peer close) is waiting."""
+        if self._sock_in is None or self.peer_closed:
+            return False
+        ready, _, _ = select.select([self._sock_in], [], [], timeout)
+        return bool(ready)
+
+    def pump(self, max_messages: int | None = None) -> int:
+        """Drain whatever the socket holds *right now* into the bound
+        receiver callbacks; returns the number of delivered messages.
+
+        Non-blocking: returns 0 immediately when nothing is waiting.  The
+        shard worker loop alternates ``engine.run()`` with ``pump()``
+        (see :meth:`repro.runtime.engine.Engine.run_with_io`).
+        """
+        if self._sock_in is None:
+            return 0
+        delivered = 0
+        while max_messages is None or delivered < max_messages:
+            while self.readable(0.0):
+                try:
+                    chunk = self._sock_in.recv(_RECV_CHUNK)
+                except (BlockingIOError, InterruptedError):
+                    break
+                if not chunk:
+                    self.peer_closed = True
+                    break
+                self._buf += chunk
+            n = self._dispatch(
+                None if max_messages is None else max_messages - delivered
+            )
+            delivered += n
+            if n == 0:
+                break
+        if self.peer_closed and self._buf and max_messages is None:
+            # All complete messages were dispatched above, so leftover
+            # bytes can only be a truncated message.
+            raise MarshalError(
+                f"link {self.flow!r}: peer closed mid-message "
+                f"({len(self._buf)} stray bytes)"
+            )
+        return delivered
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds for inbound bytes."""
+        return self.readable(timeout)
+
+    def _dispatch(self, limit: int | None) -> int:
+        buf = self._buf
+        count = 0
+        while limit is None or count < limit:
+            if len(buf) < _HEADER.size:
+                break
+            kind, length = _HEADER.unpack_from(buf)
+            end = _HEADER.size + length
+            if len(buf) < end:
+                break
+            payload = bytes(buf[_HEADER.size:end])
+            del buf[:end]
+            self._emit(kind, payload)
+            count += 1
+        return count
+
+    def _emit(self, kind: int, payload: bytes) -> None:
+        if kind == _EOS:
+            if self._deliver_eos is None:
+                raise RemoteError(
+                    f"link {self.flow!r} has no receiver bound"
+                )
+            self.eos_received = True
+            self.stats["delivered"] += 1
+            self._deliver_eos()
+            return
+        if self._deliver is None:
+            raise RemoteError(f"link {self.flow!r} has no receiver bound")
+        self.stats["delivered"] += 1
+        self.stats["bytes_received"] += len(payload)
+        if kind == _FRAME:
+            if self._deliver_frame is not None:
+                self._deliver_frame(payload)
+                return
+            from repro.net.marshal import decode_batch
+
+            for chunk in decode_batch(payload):
+                self._deliver(chunk)
+            return
+        if kind != _DATA:
+            raise MarshalError(
+                f"link {self.flow!r}: unknown wire kind {kind}"
+            )
+        self._deliver(payload)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for sock in {
+            s for s in (self._sock_out, self._sock_in) if s is not None
+        }:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SocketLink {self.flow!r} {self.src}->{self.dst} "
+            f"sent={self.stats['sent']} delivered={self.stats['delivered']}>"
+        )
+
+
+class InProcessLink:
+    """Synchronous in-memory transport with the protocol interface.
+
+    ``Deployment.simulate()`` realizes every planner cut with one of
+    these so the whole sharded structure runs inside a single engine:
+    sends deliver immediately into the receiver callbacks (a zero-delay
+    reliable wire), keeping runs deterministic and schedule exploration
+    (:func:`repro.check.check_refinement`) applicable.  Sender and
+    receiver share the one object, which is also what lets
+    ``lossy_channels`` pair the two netpipe halves across the cut.
+
+    ``loss_rate`` > 0 turns it into a seeded lossy datagram wire (each
+    plain data message may be dropped), for exercising wire-loss
+    attribution without a network simulator.
+    """
+
+    def __init__(
+        self,
+        src: str = "shard-0",
+        dst: str = "shard-1",
+        flow: str = "flow",
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        import random
+
+        self.src = src
+        self.dst = dst
+        self.flow = flow
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.stats = {"sent": 0, "delivered": 0, "retransmits": 0,
+                      "lost": 0}
+        self.eos_sent = False
+        self.eos_received = False
+        self._deliver: Callable[[bytes], None] | None = None
+        self._deliver_eos: Callable[[], None] | None = None
+        self._deliver_frame: Callable[[bytes], None] | None = None
+
+    def on_deliver(
+        self,
+        deliver: Callable[[bytes], None],
+        deliver_eos: Callable[[], None],
+        deliver_frame: Callable[[bytes], None] | None = None,
+    ) -> None:
+        self._deliver = deliver
+        self._deliver_eos = deliver_eos
+        self._deliver_frame = deliver_frame
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+
+    def send(self, payload) -> None:
+        self.stats["sent"] += 1
+        if self._lost():
+            self.stats["lost"] += 1
+            return
+        if self._deliver is None:
+            raise RemoteError(f"link {self.flow!r} has no receiver bound")
+        self.stats["delivered"] += 1
+        self._deliver(bytes(payload))
+
+    def send_frame(self, payload) -> None:
+        self.stats["sent"] += 1
+        if self._lost():
+            self.stats["lost"] += 1
+            return
+        self.stats["delivered"] += 1
+        payload = bytes(payload)
+        if self._deliver_frame is not None:
+            self._deliver_frame(payload)
+            return
+        from repro.net.marshal import decode_batch
+
+        if self._deliver is None:
+            raise RemoteError(f"link {self.flow!r} has no receiver bound")
+        for chunk in decode_batch(payload):
+            self._deliver(chunk)
+
+    def send_eos(self) -> None:
+        if self.eos_sent:
+            return
+        self.eos_sent = True
+        self.eos_received = True
+        if self._deliver_eos is None:
+            raise RemoteError(f"link {self.flow!r} has no receiver bound")
+        self._deliver_eos()
+
+    def receiver_loss_sample(self) -> float:
+        return 0.0
+
+    def pump(self, max_messages: int | None = None) -> int:
+        return 0  # delivery is synchronous; nothing is ever queued
+
+    def close(self) -> None:
+        pass

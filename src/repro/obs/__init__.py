@@ -47,6 +47,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    dump_registry,
+    merge_dump,
 )
 from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.sched import SchedulerProbe
@@ -73,12 +75,14 @@ __all__ = [
     "Telemetry",
     "TraceContext",
     "chrome_trace",
+    "dump_registry",
     "export_chrome_trace",
     "export_flow_traces",
     "export_jsonl",
     "iter_finished",
     "jsonl_events",
     "jsonl_flow_traces",
+    "merge_dump",
     "prometheus_text",
     "render_top",
 ]

@@ -309,3 +309,75 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process aggregation (repro.deploy): dump in a shard child, merge in
+# the parent with an extra ``shard`` label, serve from one MetricsServer.
+# ---------------------------------------------------------------------------
+
+
+def dump_registry(registry: MetricsRegistry) -> dict:
+    """A plain-data (picklable/JSON-able) snapshot of every metric.
+
+    Callback gauges are evaluated at dump time: the child's live state
+    becomes a frozen value in the parent.
+    """
+    metrics = []
+    for (name, labels), metric in sorted(registry._metrics.items()):
+        entry: dict[str, Any] = {
+            "name": name,
+            "kind": metric.kind,
+            "labels": [list(pair) for pair in labels],
+            "help": registry.help_text(name),
+        }
+        if metric.kind == "histogram":
+            entry.update(
+                counts=list(metric.counts),
+                count=metric.count,
+                sum=metric.sum,
+                min=metric.min if metric.count else None,
+                max=metric.max,
+            )
+        else:
+            entry["value"] = metric.value
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def merge_dump(
+    registry: MetricsRegistry, dump: dict, **extra_labels: Any
+) -> None:
+    """Merge a :func:`dump_registry` snapshot into ``registry``.
+
+    ``extra_labels`` (typically ``shard=i``) are added to every metric so
+    per-shard series stay distinguishable in one aggregate registry.
+    Counters and histogram buckets add; gauges overwrite (last write
+    wins, which is right for one-shot post-run merges).
+    """
+    for entry in dump.get("metrics", ()):
+        labels = {k: v for k, v in entry["labels"]}
+        labels.update(extra_labels)
+        name, kind, help = entry["name"], entry["kind"], entry["help"]
+        if kind == "counter":
+            registry.counter(name, help, **labels).inc(entry["value"])
+        elif kind == "gauge":
+            registry.gauge(name, help, **labels).set(entry["value"])
+        elif kind == "histogram":
+            histogram = registry.histogram(name, help, **labels)
+            counts = entry["counts"]
+            if len(counts) != len(histogram.counts):
+                raise MetricError(
+                    f"histogram {name!r}: bucket geometry mismatch "
+                    f"({len(counts)} vs {len(histogram.counts)})"
+                )
+            for index, bucket_count in enumerate(counts):
+                histogram.counts[index] += bucket_count
+            histogram.count += entry["count"]
+            histogram.sum += entry["sum"]
+            if entry["min"] is not None and entry["min"] < histogram.min:
+                histogram.min = entry["min"]
+            if entry["max"] > histogram.max:
+                histogram.max = entry["max"]
+        else:
+            raise MetricError(f"unknown metric kind {kind!r} in dump")

@@ -1184,6 +1184,50 @@ class Engine:
         self.scheduler.run(max_steps=max_steps)
         return self
 
+    def run_with_io(
+        self,
+        io: Any,
+        idle_timeout: float = 0.05,
+        max_steps: int | None = None,
+        horizon: float = 1.0,
+    ) -> "Engine":
+        """Run to completion while pumping an external I/O source — the
+        shard-local main loop of a multi-process deployment
+        (:mod:`repro.deploy`).
+
+        ``io`` is anything with ``pump() -> int`` (drain ready inbound
+        messages into the pipeline, returning how many arrived),
+        ``wait(timeout) -> bool`` (block until inbound bytes or timeout)
+        and optionally ``should_stop() -> bool`` (external shutdown, e.g.
+        a control message from the deployment parent).  The loop
+        alternates scheduler runs with I/O pumping: the scheduler runs
+        until quiescent, arrivals wake the boundary gates
+        (``external_wake_pullers``), and the pipeline completes when
+        every pump driver finished — which for a downstream shard means
+        its netpipe receivers saw the cross-process EOS.
+
+        Each scheduler run is bounded to ``horizon`` virtual seconds: a
+        periodic timer (a clocked pump waiting on wire data) keeps the
+        scheduler non-quiescent forever, so an unbounded run would never
+        hand control back to the I/O pump.  Each shard's virtual clock
+        is local and free-running, so burning through idle virtual time
+        while real bytes are in flight only skews timestamps, never the
+        data flow.
+        """
+        self.setup()
+        should_stop = getattr(io, "should_stop", None)
+        while True:
+            until = self.scheduler.clock.now() + horizon
+            self.scheduler.run(until=until, max_steps=max_steps)
+            if self.completed:
+                return self
+            if io.pump():
+                continue
+            if should_stop is not None and should_stop():
+                return self
+            if not io.wait(idle_timeout):
+                continue
+
     @property
     def completed(self) -> bool:
         return bool(self.pump_drivers) and all(

@@ -1,0 +1,120 @@
+"""Deployment end-to-end: equivalence, golden identity, certification."""
+
+import os
+
+import pytest
+
+from repro.check.explorer import trace_hash
+from repro.deploy import Deployment, DeployError, Placement
+from repro.deploy.presets import fig1_stages, fig9a_chains
+from repro.runtime.engine import Engine
+
+SRC = "counting(limit=24) >> greedy_pump >> buffer(4) >> greedy_pump >> collect"
+
+
+class TestSingleShard:
+    def test_shards1_matches_plain_engine_bit_for_bit(self):
+        """The deployment path with shards=1 IS a plain engine run: the
+        scheduler traces hash identically."""
+        from repro.deploy.worker import build_program
+
+        plain = Engine(build_program(SRC), trace=True)
+        plain.start()
+        plain.run()
+        deployed = Deployment(
+            SRC, Placement.auto(1), engine_kwargs={"trace": True}
+        ).run()
+        assert deployed.completed
+        assert trace_hash(list(plain.scheduler._trace)) == \
+            trace_hash(list(deployed.engine.scheduler._trace))
+
+    def test_result_surfaces_stats_and_sinks(self):
+        result = Deployment(SRC).run()
+        assert result.shards == 1
+        assert result.sinks["collect-sink-1"] == list(range(24))
+        assert result.items_delivered("collect-sink-1") == 24
+
+
+class TestShardedExecution:
+    def test_two_shards_socketpair_delivers_everything(self):
+        result = Deployment(SRC, Placement.auto(2)).run(timeout=60)
+        assert result.completed
+        assert result.sinks["collect-sink-1"] == list(range(24))
+        wire = result.wire_stats[0]
+        assert wire["delivered"] >= 24
+
+    def test_two_shards_tcp(self):
+        result = Deployment(
+            SRC, Placement.auto(2), transport="tcp"
+        ).run(timeout=60)
+        assert result.completed
+        assert result.sinks["collect-sink-1"] == list(range(24))
+
+    def test_disconnected_chains_shard_without_wires(self):
+        result = Deployment(
+            fig9a_chains(4, 64), Placement.auto(4)
+        ).run(timeout=60)
+        assert result.completed
+        assert result.plan.cuts == ()
+        # 64 items halved twice by the two 2:1 defragmenters.
+        assert all(
+            len(result.sinks[f"sink-{i}"]) == 16 for i in range(4)
+        )
+
+    def test_clocked_media_pipeline_across_processes(self):
+        result = Deployment(
+            fig1_stages(frames=30), Placement.auto(2)
+        ).run(timeout=90)
+        assert result.completed
+        assert result.items_delivered("video-display-1") == 30
+
+    def test_spawn_start_method(self):
+        result = Deployment(
+            SRC, Placement.auto(2), start_method="spawn"
+        ).run(timeout=120)
+        assert result.completed
+        assert result.sinks["collect-sink-1"] == list(range(24))
+
+    def test_live_pipeline_cannot_be_sharded(self):
+        from repro.deploy.worker import build_program
+
+        live = build_program(SRC)
+        with pytest.raises(DeployError):
+            Deployment(live, Placement.auto(2)).run()
+
+    def test_telemetry_dumps_merge_across_shards(self):
+        result = Deployment(
+            SRC, Placement.auto(2), telemetry=True
+        ).run(timeout=60)
+        registry = result.merged_metrics()
+        from repro.obs import prometheus_text
+
+        text = prometheus_text(registry)
+        assert 'shard="0"' in text
+        assert 'shard="1"' in text
+
+
+class TestCoSimulationAndCertification:
+    def test_simulate_runs_the_cut_topology_in_one_engine(self):
+        engine = Deployment(SRC, Placement.auto(2)).simulate()
+        engine.start()
+        engine.run()
+        sink = engine.pipeline.component("collect-sink-1")
+        assert sink.items == list(range(24))
+        names = {c.name for c in engine.pipeline.components}
+        assert "buffer-1-wire-send" in names
+        assert "buffer-1-wire-recv" in names
+        assert "buffer-1" not in names
+
+    def test_two_shard_plan_refines_single_core(self):
+        cert = Deployment(SRC, Placement.auto(2)).certify(seeds=8)
+        assert cert.verdict == "refines"
+
+    def test_lossy_wire_still_refines_when_declared(self):
+        cert = Deployment(SRC, Placement.auto(2)).certify(
+            seeds=6, loss_rate=0.5, loss_seed=3
+        )
+        assert cert.verdict == "refines"
+        assert any(
+            c.get("mode") == "subsequence" for c in cert.channels.values()
+        ), cert.channels

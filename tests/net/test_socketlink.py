@@ -1,0 +1,172 @@
+"""SocketLink: the real-socket transport behind multi-core deployment."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.net import InProcessLink, SocketLink
+
+
+def collect(link):
+    """Attach recording callbacks; returns (messages, frames, eos flag)."""
+    state = {"messages": [], "frames": [], "eos": 0}
+    link.on_deliver(
+        lambda data: state["messages"].append(bytes(data)),
+        lambda: state.__setitem__("eos", state["eos"] + 1),
+        lambda frame: state["frames"].append(bytes(frame)),
+    )
+    return state
+
+
+class TestSocketLinkPair:
+    def test_data_messages_cross_the_pair(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        a.send(b"hello")
+        a.send(b"world")
+        assert b.pump() >= 1
+        assert state["messages"] == [b"hello", b"world"]
+        assert a.stats["sent"] == 2
+        assert b.stats["delivered"] == 2
+
+    def test_frames_arrive_as_frames(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        a.send_frame(b"\x00\x01coalesced-frame-bytes")
+        b.pump()
+        assert state["frames"] == [b"\x00\x01coalesced-frame-bytes"]
+        assert state["messages"] == []
+
+    def test_eos_is_delivered_once_and_idempotent(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        a.send_eos()
+        a.send_eos()
+        b.pump()
+        assert state["eos"] == 1
+
+    def test_large_payload_reassembles_across_recv_chunks(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        blob = bytes(range(256)) * 4096  # 1 MiB >> any recv() chunk
+        # sendall of a payload larger than the kernel socket buffer only
+        # finishes once the receiver drains — send from a thread.
+        sender = threading.Thread(target=a.send, args=(blob,))
+        sender.start()
+        while not state["messages"]:
+            b.wait(1.0)
+            b.pump()
+        sender.join()
+        assert state["messages"] == [blob]
+        assert b.stats["bytes_received"] >= len(blob)
+
+    def test_interleaved_kinds_preserve_order_per_kind(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        a.send(b"one")
+        a.send_frame(b"f1")
+        a.send(b"two")
+        a.send_eos()
+        b.pump()
+        assert state["messages"] == [b"one", b"two"]
+        assert state["frames"] == [b"f1"]
+        assert state["eos"] == 1
+
+    def test_truncated_message_on_peer_close_raises(self):
+        a, b = SocketLink.pair()
+        collect(b)
+        # Write a header promising more bytes than we send, then close.
+        a._sendall(0, b"full-message")
+        a._sock_out.sendall(b"\x00\x00\x00\x00\x10part")
+        a.close()
+        with pytest.raises(MarshalError):
+            while True:
+                b.pump()
+                if b.peer_closed and not b._buf:
+                    break
+
+    def test_clean_close_after_eos_is_not_an_error(self):
+        a, b = SocketLink.pair()
+        state = collect(b)
+        a.send(b"payload")
+        a.send_eos()
+        a.close()
+        b.pump()
+        assert state["messages"] == [b"payload"]
+        assert state["eos"] == 1
+        assert b.peer_closed
+
+    def test_wait_times_out_then_sees_data(self):
+        a, b = SocketLink.pair()
+        collect(b)
+        assert b.wait(0.01) is False
+        a.send(b"x")
+        assert b.wait(1.0) is True
+
+
+class TestSocketLinkTcp:
+    def test_tcp_pair_carries_flow(self):
+        a, b = SocketLink.tcp_pair()
+        state = collect(b)
+        a.send(b"over-tcp")
+        a.send_eos()
+        while not state["eos"]:
+            b.wait(1.0)
+            b.pump()
+        assert state["messages"] == [b"over-tcp"]
+
+    def test_threaded_producer(self):
+        a, b = SocketLink.tcp_pair()
+        state = collect(b)
+        payloads = [bytes([i]) * 100 for i in range(50)]
+
+        def produce():
+            for payload in payloads:
+                a.send(payload)
+            a.send_eos()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        while not state["eos"]:
+            b.wait(1.0)
+            b.pump()
+        thread.join()
+        assert state["messages"] == payloads
+
+
+class TestInProcessLink:
+    def test_synchronous_delivery(self):
+        link = InProcessLink("a", "b", "flow")
+        state = collect(link)
+        link.send(b"item")
+        link.send_frame(b"frame")
+        link.send_eos()
+        assert state["messages"] == [b"item"]
+        assert state["frames"] == [b"frame"]
+        assert state["eos"] == 1
+        assert link.pump() == 0
+
+    def test_seeded_loss_is_deterministic(self):
+        def run(seed):
+            link = InProcessLink("a", "b", "flow", loss_rate=0.3, seed=seed)
+            state = collect(link)
+            for i in range(100):
+                link.send(bytes([i]))
+            return [m[0] for m in state["messages"]], link.stats["lost"]
+
+        first, lost_first = run(7)
+        again, lost_again = run(7)
+        other, _ = run(8)
+        assert first == again
+        assert lost_first == lost_again > 0
+        assert first != other
+
+    def test_eos_is_never_lost(self):
+        link = InProcessLink("a", "b", "flow", loss_rate=1.0, seed=1)
+        state = collect(link)
+        link.send(b"dropped")
+        link.send_eos()
+        assert state["messages"] == []
+        assert state["eos"] == 1
