@@ -1,0 +1,202 @@
+"""Admission control and overload shedding for the session fabric.
+
+Policy-free middleware (Dearle et al.): the fabric *mechanism* exposes a
+decision point at ``open_session``; the *policy* — when to reject, queue
+or degrade — is supplied externally as a plain callable.  The controller
+feeds the policy two things:
+
+* a **bandwidth budget** — each session declares its flow typespec (or
+  just an average item size) and :func:`repro.net.qosmap.bandwidth_demand`
+  prices it; admitted demand accumulates against ``capacity_bps``;
+* **live feedback sensors** (:mod:`repro.feedback.sensors`) — the policy
+  sees current readings, so shedding can react to measured overload, not
+  just static budgets.
+
+Built-in policies cover the three canonical actions; applications pass
+their own callable for anything richer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.typespec import Typespec
+from repro.net.qosmap import bandwidth_demand
+
+#: Decision actions.
+ACCEPT = "accept"
+REJECT = "reject"
+QUEUE = "queue"
+DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """What a tenant asks for at ``open_session`` time."""
+
+    name: str
+    weight: float = 1.0
+    #: Flow typespec used to price the session's bandwidth demand.
+    typespec: Typespec | None = None
+    avg_item_bytes: float | None = None
+    item_rate: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def demand_bps(self) -> float | None:
+        spec = self.typespec if self.typespec is not None else Typespec()
+        return bandwidth_demand(
+            spec,
+            avg_item_bytes=self.avg_item_bytes,
+            item_rate=self.item_rate,
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The policy's verdict on one request."""
+
+    action: str
+    reason: str = ""
+    #: For DEGRADE: the weight the session is admitted at instead.
+    weight: float | None = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.action in (ACCEPT, DEGRADE)
+
+
+#: A policy maps (request, snapshot) -> Decision (or an action string).
+Policy = Callable[[SessionRequest, dict], Any]
+
+
+class AdmissionController:
+    """Prices sessions against capacity and applies an external policy.
+
+    Parameters
+    ----------
+    policy:
+        ``policy(request, snapshot) -> Decision | str``.  The snapshot
+        dict holds ``sessions`` (admitted count), ``demand_bps`` (sum of
+        admitted demands), ``request_bps`` (this request's price, None
+        when unknown), ``capacity_bps``, ``max_sessions`` and
+        ``sensors`` (name -> current reading).
+    capacity_bps / max_sessions:
+        Static budgets the built-in policies (and custom ones) compare
+        against; either may be None (unbudgeted).
+    sensors:
+        ``{name: sensor}`` of live feedback sensors; anything with a
+        ``sample() -> float``.
+    """
+
+    def __init__(
+        self,
+        policy: Policy | None = None,
+        capacity_bps: float | None = None,
+        max_sessions: int | None = None,
+        sensors: dict[str, Any] | None = None,
+    ):
+        self.policy = policy if policy is not None else reject_over_capacity
+        self.capacity_bps = capacity_bps
+        self.max_sessions = max_sessions
+        self.sensors = dict(sensors or {})
+        self._admitted: dict[str, float] = {}
+        self.stats = {"accepted": 0, "rejected": 0, "queued": 0,
+                      "degraded": 0}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def demand_bps(self) -> float:
+        return sum(self._admitted.values())
+
+    @property
+    def admitted_sessions(self) -> int:
+        return len(self._admitted)
+
+    def snapshot(self, request: SessionRequest | None = None) -> dict:
+        readings = {}
+        for name, sensor in self.sensors.items():
+            try:
+                readings[name] = sensor.sample()
+            except Exception:  # noqa: BLE001 - a dead sensor never blocks
+                readings[name] = None
+        return {
+            "sessions": self.admitted_sessions,
+            "demand_bps": self.demand_bps,
+            "request_bps": request.demand_bps() if request else None,
+            "capacity_bps": self.capacity_bps,
+            "max_sessions": self.max_sessions,
+            "sensors": readings,
+        }
+
+    # -- the decision point --------------------------------------------------
+
+    def admit(self, request: SessionRequest) -> Decision:
+        decision = self.policy(request, self.snapshot(request))
+        if isinstance(decision, str):
+            decision = Decision(action=decision)
+        self.stats[
+            {ACCEPT: "accepted", REJECT: "rejected", QUEUE: "queued",
+             DEGRADE: "degraded"}.get(decision.action, "rejected")
+        ] += 1
+        if decision.admitted:
+            self._admitted[request.name] = request.demand_bps() or 0.0
+        return decision
+
+    def release(self, name: str) -> None:
+        """A session closed; return its demand to the budget."""
+        self._admitted.pop(name, None)
+
+
+# -- built-in policies ---------------------------------------------------------
+
+
+def reject_over_capacity(request: SessionRequest, snapshot: dict) -> Decision:
+    """Hard shed: reject when the static budgets would be exceeded."""
+    verdict = _over_budget(request, snapshot)
+    if verdict is not None:
+        return Decision(action=REJECT, reason=verdict)
+    return Decision(action=ACCEPT)
+
+
+def queue_over_capacity(request: SessionRequest, snapshot: dict) -> Decision:
+    """Keep-them-waiting: over-budget sessions park in the fabric's
+    pending queue and retry as capacity frees up."""
+    verdict = _over_budget(request, snapshot)
+    if verdict is not None:
+        return Decision(action=QUEUE, reason=verdict)
+    return Decision(action=ACCEPT)
+
+
+def degrade_over_capacity(factor: float = 0.25) -> Policy:
+    """Soft shed: over-budget sessions are admitted at ``factor`` times
+    their requested fair-share weight (they get in, but slower)."""
+
+    def policy(request: SessionRequest, snapshot: dict) -> Decision:
+        verdict = _over_budget(request, snapshot)
+        if verdict is not None:
+            return Decision(
+                action=DEGRADE,
+                reason=verdict,
+                weight=max(request.weight * factor, 1e-6),
+            )
+        return Decision(action=ACCEPT)
+
+    return policy
+
+
+def _over_budget(request: SessionRequest, snapshot: dict) -> str | None:
+    max_sessions = snapshot["max_sessions"]
+    if max_sessions is not None and snapshot["sessions"] >= max_sessions:
+        return f"session budget exhausted ({max_sessions})"
+    capacity = snapshot["capacity_bps"]
+    price = snapshot["request_bps"]
+    if capacity is not None and price is not None:
+        if snapshot["demand_bps"] + price > capacity:
+            return (
+                f"bandwidth budget exhausted "
+                f"({snapshot['demand_bps']:.0f} + {price:.0f} > "
+                f"{capacity:.0f} bps)"
+            )
+    return None

@@ -19,8 +19,8 @@ The ready queue
 Dispatch used to scan every thread and recompute its sort key on every
 pick and every preemption check — O(n) with fresh allocations each time.
 The scheduler now maintains an **indexed ready queue**: a binary heap of
-``[prio, deadline, last_ran, index, seq, thread]`` entries, one live entry
-per ready thread.  Whenever an event changes a thread's key or readiness
+``[prio, vtime, deadline, last_ran, index, seq, thread]`` entries, one
+live entry per ready thread.  Whenever an event changes a thread's key or readiness
 (message delivery, receive, donation, message start/finish, wait set or
 cleared, priority change) the thread notifies the scheduler via
 :meth:`_reindex`, which tombstones the old entry (lazily discarded at the
@@ -31,6 +31,24 @@ n) worst case — and, because the entry key embeds the same
 is *bit-for-bit identical* to the reference linear scan
 (:meth:`_pick_ready_linear`, kept for the property-based equivalence
 tests).
+
+Weighted-fair multi-tenancy
+---------------------------
+The ``vtime`` key component implements start-time fair queueing across
+**tenants** (sessions multiplexed onto one scheduler by
+:mod:`repro.fabric`).  Threads with no tenant carry ``vtime == 0.0``, so
+the key degenerates to the original ``(prio, deadline, last_ran, index)``
+order and single-session schedules stay bit-for-bit identical (pinned by
+the golden traces).  A tenanted thread is keyed by its tenant's virtual
+time; each dispatch charges the tenant ``1 / weight``, so a hot tenant's
+threads drift later in the queue and every backlogged tenant receives CPU
+in proportion to its weight.  Priorities still dominate (vtime only
+orders threads of equal effective priority), and a tenant waking from
+idle is clamped to the scheduler's fair clock so it cannot burst on
+banked credit.  Parked threads (quiesced sessions, see
+:meth:`park_thread`) are excluded from ``is_ready`` and therefore hold no
+heap entry at all: dispatch cost is independent of the number of idle
+sessions, and :meth:`unpark_thread` is a single heap push.
 
 Checking hooks
 --------------
@@ -98,6 +116,8 @@ from repro.mbt.syscalls import (
 )
 from repro.mbt.thread import MThread, WaitState
 
+_INF = float("inf")
+
 _EPS = 1e-12
 
 #: Pre-bound for the dispatch hot path (module attribute lookups add up).
@@ -122,6 +142,44 @@ class TimerHandle:
         self.cancelled = True
 
 
+class Tenant:
+    """Fair-share accounting unit for a group of threads (one session).
+
+    ``weight`` sets the tenant's share of the scheduler relative to other
+    backlogged tenants; ``vtime`` is its virtual finish time, advanced by
+    ``1 / weight`` per dispatch.  Threads are attached via
+    :meth:`Scheduler.assign_tenant`.
+    """
+
+    __slots__ = ("name", "_weight", "_inv_weight", "vtime", "dispatches")
+
+    def __init__(self, name: str, weight: float = 1.0):
+        if weight <= 0:
+            raise SchedulerError(f"tenant weight must be positive, got {weight}")
+        self.name = name
+        self._weight = float(weight)
+        self._inv_weight = 1.0 / float(weight)
+        self.vtime = 0.0
+        self.dispatches = 0
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        if value <= 0:
+            raise SchedulerError(f"tenant weight must be positive, got {value}")
+        self._weight = float(value)
+        self._inv_weight = 1.0 / float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tenant {self.name!r} weight={self._weight} "
+            f"vtime={self.vtime:.3f} dispatches={self.dispatches}>"
+        )
+
+
 class Scheduler:
     """Runs user-level threads over a virtual or real clock."""
 
@@ -132,9 +190,12 @@ class Scheduler:
         on_thread_error: str = "raise",
         dead_letter_limit: int | None = DEAD_LETTER_LIMIT,
         trace_limit: int | None = None,
+        fair_quantum: int = 1,
     ):
         if on_thread_error not in ("raise", "collect"):
             raise ValueError("on_thread_error must be 'raise' or 'collect'")
+        if fair_quantum < 1:
+            raise ValueError("fair_quantum must be >= 1")
         self.clock = clock if clock is not None else VirtualClock()
         # Bound once: tracing and probe hooks stamp times on every event,
         # and the attribute chain is measurable there.
@@ -171,8 +232,9 @@ class Scheduler:
         self._obs: Any = None
         self._reservations: dict[str, float] = {}
 
-        #: Indexed ready queue: heap of [prio, deadline, last_ran, index,
-        #: seq, thread] entries.  A tombstoned entry has thread slot None.
+        #: Indexed ready queue: heap of [prio, vtime, deadline, last_ran,
+        #: index, seq, thread] entries.  A tombstoned entry has thread
+        #: slot None.
         self._ready_heap: list[list] = []
         self._ready_seq = itertools.count()
         #: Tombstoned entries still sitting in the heap.  Lazy invalidation
@@ -194,6 +256,37 @@ class Scheduler:
         self.delivery_interceptor: Callable[[Message], Any] | None = None
         #: Messages discarded by the delivery interceptor.
         self.messages_dropped = 0
+
+        #: Weighted-fair tenants by name (see :class:`Tenant`); empty when
+        #: no fabric is multiplexing sessions onto this scheduler.
+        self._tenants: dict[str, Tenant] = {}
+        #: Virtual start time of the most recently dispatched tenanted
+        #: thread; waking tenants are clamped to it (minus ``_fair_lag``)
+        #: so idleness does not bank credit.
+        self._fair_clock = 0.0
+        #: How far behind the fair clock a waking tenant may start; 0.0 is
+        #: strict start-time fair queueing.
+        self._fair_lag = 0.0
+        #: Dispatch quantum for tenanted threads: how many consecutive
+        #: dispatches a tenant may burst before the fair order is
+        #: re-evaluated.  1 (the default) is strict per-dispatch fairness;
+        #: larger values amortize ready-queue maintenance over the burst
+        #: (the fabric's multi-tenant hot path) at the cost of quantum-
+        #: bounded short-term unfairness.  Virtual-time *charging* stays
+        #: per-dispatch, so long-run weighted shares are unaffected.
+        self.fair_quantum = int(fair_quantum)
+        #: Active burst: the tenanted thread currently holding the CPU
+        #: between fair re-evaluations, and how many dispatches remain.
+        self._burst_thread: MThread | None = None
+        self._burst_left = 0
+        #: Set when a deadline-constrained entry enters the ready heap;
+        #: aborts any burst so EDF urgency is never deferred behind a
+        #: quantum (priority urgency needs no flag: a more-urgent
+        #: priority always surfaces at the heap top).
+        self._deadline_push = False
+        #: Parked (quiesced) threads; they hold no ready-heap entry, so
+        #: dispatch cost is independent of the number of idle sessions.
+        self._parked: set[MThread] = set()
 
     # ------------------------------------------------------------ threads
 
@@ -218,6 +311,71 @@ class Scheduler:
 
     def blocked_threads(self) -> list[MThread]:
         return [t for t in self.threads.values() if t.is_blocked()]
+
+    # ------------------------------------------------------------ tenants
+
+    def add_tenant(self, name: str, weight: float = 1.0) -> Tenant:
+        """Get or create the fair-share :class:`Tenant` called ``name``.
+
+        An existing tenant keeps its virtual time but adopts the new
+        ``weight`` (weights are live-tunable).
+        """
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(name, weight)
+            self._tenants[name] = tenant
+        elif tenant.weight != weight:
+            tenant.weight = weight
+        return tenant
+
+    def remove_tenant(self, name: str) -> None:
+        """Drop a tenant; its remaining threads revert to untenanted."""
+        tenant = self._tenants.pop(name, None)
+        if tenant is None:
+            return
+        for thread in self.threads.values():
+            if thread._tenant is tenant:
+                thread._tenant = None
+                self._reindex(thread)
+
+    @property
+    def tenants(self) -> dict[str, Tenant]:
+        return dict(self._tenants)
+
+    def assign_tenant(self, thread: MThread, tenant: Tenant | str | None) -> None:
+        """Attach ``thread`` to a tenant (or detach with ``None``)."""
+        if isinstance(tenant, str):
+            tenant = self.add_tenant(tenant)
+        thread._tenant = tenant
+        self._reindex(thread)
+
+    # ------------------------------------------------------------ parking
+
+    def park_thread(self, thread: MThread) -> None:
+        """Quiesce ``thread``: not ready, holds no ready-heap entry.
+
+        Parked threads cost the dispatcher nothing — the microbench in
+        ``benchmarks`` asserts dispatch cost is independent of how many
+        threads are parked.  Messages delivered meanwhile queue in the
+        mailbox and run on :meth:`unpark_thread`.
+        """
+        if thread.parked:
+            return
+        thread.parked = True
+        self._parked.add(thread)
+        self._reindex(thread)  # tombstones any live entry
+
+    def unpark_thread(self, thread: MThread) -> None:
+        """O(1) wake: clear the parked flag and push one heap entry."""
+        if not thread.parked:
+            return
+        thread.parked = False
+        self._parked.discard(thread)
+        self._reindex(thread)
+
+    @property
+    def parked_threads(self) -> set[MThread]:
+        return set(self._parked)
 
     # ------------------------------------------------------------ reservations
 
@@ -388,9 +546,14 @@ class Scheduler:
         a fresh entry keyed exactly like the reference linear scan:
         ``(*effective_sort_key(), last_ran, index)``.
         """
+        if thread is self._current:
+            # Deferred: _run_thread refreshes the entry once the dispatch
+            # settles (see _reindex_after_dispatch), so mid-dispatch key
+            # churn — the self-repost of every pump cycle — costs nothing.
+            return
         entry = thread._heap_entry
         if entry is not None:
-            entry[5] = None
+            entry[6] = None
             thread._heap_entry = None
             stale = self._ready_stale + 1
             self._ready_stale = stale
@@ -399,17 +562,23 @@ class Scheduler:
             # threads would otherwise accumulate without bound.
             if stale > 64 and 3 * stale > 2 * len(self._ready_heap):
                 self._compact_ready_heap()
-        if (
-            thread is self._current
-            or thread.terminated
-            or not thread.is_ready()
-        ):
+        if thread.terminated or not thread.is_ready():
             return
         if self._obs is not None and thread._ready_since is None:
             thread._ready_since = self._clock_now()
         key = thread.effective_sort_key()
+        tenant = thread._tenant
+        if tenant is None:
+            vtime = 0.0
+        else:
+            vtime = tenant.vtime
+            floor = self._fair_clock - self._fair_lag
+            if vtime < floor:
+                # Waking from idle: no banked credit past the lag bound.
+                vtime = tenant.vtime = floor
         entry = [
             key[0],
+            vtime,
             key[1],
             thread._last_ran,
             thread._index,
@@ -418,6 +587,84 @@ class Scheduler:
         ]
         thread._heap_entry = entry
         heapq.heappush(self._ready_heap, entry)
+        if key[1] != _INF and self._burst_thread is not None:
+            self._deadline_push = True
+
+    def _reindex_after_dispatch(self, thread: MThread) -> None:
+        """Refresh the dispatched thread's heap entry (hot path).
+
+        Mid-burst (``fair_quantum`` > 1) the refresh is skipped entirely:
+        the stale entry stays in the heap and ``_pick_ready`` hands the
+        CPU straight back, so a quantum of Q touches the heap once per Q
+        dispatches instead of once per dispatch.
+        """
+        if (
+            thread is self._burst_thread
+            and self._burst_left > 0
+            and not self._deadline_push
+            and self.choice_hook is None
+            and not thread.terminated
+            and thread.is_ready()
+        ):
+            return
+        if thread is self._burst_thread:
+            self._burst_thread = None
+            self._burst_left = 0
+        self._refresh_entry(thread)
+
+    def _refresh_entry(self, thread: MThread) -> None:
+        """Re-key the dispatched thread's heap entry.
+
+        The thread came off the heap top and — in the steady state of a
+        saturated fabric — goes straight back with a later virtual time.
+        When its pre-dispatch entry is still sitting at ``heap[0]`` the
+        swap is a single :func:`heapq.heapreplace` sift instead of the
+        generic tombstone + push + lazy-pop triple, which halves the
+        heap traffic per dispatch at thousand-tenant scale.
+        """
+        heap = self._ready_heap
+        entry = thread._heap_entry
+        if thread.terminated or not thread.is_ready():
+            if entry is not None:
+                entry[6] = None
+                thread._heap_entry = None
+                stale = self._ready_stale + 1
+                self._ready_stale = stale
+                if stale > 64 and 3 * stale > 2 * len(heap):
+                    self._compact_ready_heap()
+            return
+        if self._obs is not None and thread._ready_since is None:
+            thread._ready_since = self._clock_now()
+        key = thread.effective_sort_key()
+        tenant = thread._tenant
+        if tenant is None:
+            vtime = 0.0
+        else:
+            vtime = tenant.vtime
+            floor = self._fair_clock - self._fair_lag
+            if vtime < floor:
+                # Waking from idle: no banked credit past the lag bound.
+                vtime = tenant.vtime = floor
+        new_entry = [
+            key[0],
+            vtime,
+            key[1],
+            thread._last_ran,
+            thread._index,
+            next(self._ready_seq),
+            thread,
+        ]
+        thread._heap_entry = new_entry
+        if entry is not None:
+            if heap and heap[0] is entry:
+                entry[6] = None
+                heapq.heapreplace(heap, new_entry)
+                return
+            # Displaced mid-heap (hooked pick, or a more urgent arrival
+            # sifted past it): fall back to tombstone + push.
+            entry[6] = None
+            self._ready_stale += 1
+        heapq.heappush(heap, new_entry)
 
     def _compact_ready_heap(self) -> None:
         """Rebuild the ready heap without tombstones.
@@ -425,37 +672,93 @@ class Scheduler:
         The live entry *objects* are kept (``thread._heap_entry``
         references stay valid); only the dead ones are dropped.
         """
-        heap = [entry for entry in self._ready_heap if entry[5] is not None]
+        heap = [entry for entry in self._ready_heap if entry[6] is not None]
         heapq.heapify(heap)
         self._ready_heap = heap
         self._ready_stale = 0
 
     def _pick_ready(self) -> MThread | None:
         if self.choice_hook is not None:
+            if self._burst_thread is not None:
+                self._finish_burst()
             return self._pick_ready_hooked()
+        burst = self._burst_thread
+        if burst is not None:
+            if (
+                self._burst_left > 0
+                and not self._deadline_push
+                and not burst.terminated
+                and burst.is_ready()
+            ):
+                top = self._peek_live()
+                if top is None or top[6] is burst:
+                    self._burst_left -= 1
+                    return burst
+                # Someone displaced the burst thread's (stale) entry at
+                # the top.  Keep bursting unless the rival is strictly
+                # more urgent ignoring virtual time — quantum-bounded
+                # vtime unfairness is the whole point, but priority and
+                # deadline urgency rotate immediately.
+                key = burst.effective_sort_key()
+                if not (
+                    top[0] < key[0]
+                    or (top[0] == key[0] and top[2] < key[1])
+                ):
+                    self._burst_left -= 1
+                    return burst
+            self._finish_burst()
         heap = self._ready_heap
         while heap:
-            thread = heap[0][5]
+            thread = heap[0][6]
             if thread is None:
                 heapq.heappop(heap)
                 self._ready_stale -= 1
                 continue
+            if self.fair_quantum > 1 and thread._tenant is not None:
+                self._burst_thread = thread
+                self._burst_left = self.fair_quantum - 1
+                self._deadline_push = False
             return thread
         return None
+
+    def _peek_live(self) -> list | None:
+        heap = self._ready_heap
+        while heap:
+            entry = heap[0]
+            if entry[6] is None:
+                heapq.heappop(heap)
+                self._ready_stale -= 1
+                continue
+            return entry
+        return None
+
+    def _finish_burst(self) -> None:
+        """End the active burst and perform its deferred heap refresh."""
+        thread = self._burst_thread
+        self._burst_thread = None
+        self._burst_left = 0
+        if thread is not None:
+            self._refresh_entry(thread)
 
     def _ready_candidates(self) -> list[MThread]:
         """The equally most urgent ready threads, default dispatch order.
 
         ``candidates[0]`` is exactly the thread the heap (or linear) pick
-        would return; any other candidate shares its ``(priority,
+        would return; any other candidate shares its ``(priority, vtime,
         deadline)`` key, so dispatching it instead is a legal schedule.
         """
-        best: tuple[float, float] | None = None
+        best: tuple[float, float, float] | None = None
         candidates: list[MThread] = []
         for thread in self.threads.values():
             if not thread.is_ready():
                 continue
-            key = thread.effective_sort_key()
+            sort_key = thread.effective_sort_key()
+            tenant = thread._tenant
+            key = (
+                sort_key[0],
+                tenant.vtime if tenant is not None else 0.0,
+                sort_key[1],
+            )
             if best is None or key < best:
                 best, candidates = key, [thread]
             elif key == best:
@@ -475,24 +778,43 @@ class Scheduler:
         heap = self._ready_heap
         while heap:
             entry = heap[0]
-            if entry[5] is None:
+            if entry[6] is None:
                 heapq.heappop(heap)
                 self._ready_stale -= 1
                 continue
+            if entry[6] is current:
+                # The dispatched thread's own pre-charge entry is not a
+                # rival; evict it (the post-dispatch refresh re-inserts).
+                heapq.heappop(heap)
+                current._heap_entry = None
+                continue
             key = current.effective_sort_key()
+            tenant = current._tenant
+            vtime = tenant.vtime if tenant is not None else 0.0
             return entry[0] < key[0] or (
-                entry[0] == key[0] and entry[1] < key[1]
+                entry[0] == key[0]
+                and (
+                    entry[1] < vtime
+                    or (entry[1] == vtime and entry[2] < key[1])
+                )
             )
         return False
 
     def _other_ready(self, current: MThread) -> bool:
         heap = self._ready_heap
         while heap:
-            if heap[0][5] is None:
+            occupant = heap[0][6]
+            if occupant is None:
                 heapq.heappop(heap)
                 self._ready_stale -= 1
                 continue
-            return True  # the dispatched thread is never in the heap
+            if occupant is current:
+                # The dispatched thread's own live entry; see
+                # _exists_more_urgent_ready.
+                heapq.heappop(heap)
+                current._heap_entry = None
+                continue
+            return True
         return False
 
     # -- reference implementations (equivalence oracle for tests) ----------
@@ -506,17 +828,34 @@ class Scheduler:
         for thread in self.threads.values():
             if not thread.is_ready():
                 continue
-            key = (*thread.effective_sort_key(), thread._last_ran, thread._index)
+            sort_key = thread.effective_sort_key()
+            tenant = thread._tenant
+            key = (
+                sort_key[0],
+                tenant.vtime if tenant is not None else 0.0,
+                sort_key[1],
+                thread._last_ran,
+                thread._index,
+            )
             if best_key is None or key < best_key:
                 best, best_key = thread, key
         return best
 
+    def _fair_key_linear(self, thread: MThread) -> tuple[float, float, float]:
+        sort_key = thread.effective_sort_key()
+        tenant = thread._tenant
+        return (
+            sort_key[0],
+            tenant.vtime if tenant is not None else 0.0,
+            sort_key[1],
+        )
+
     def _exists_more_urgent_ready_linear(self, current: MThread) -> bool:
-        current_key = current.effective_sort_key()
+        current_key = self._fair_key_linear(current)
         for thread in self.threads.values():
             if thread is current or not thread.is_ready():
                 continue
-            if thread.effective_sort_key() < current_key:
+            if self._fair_key_linear(thread) < current_key:
                 return True
         return False
 
@@ -535,17 +874,24 @@ class Scheduler:
         self.steps += 1
         thread._last_ran = next(self._run_seq)
 
+        tenant = thread._tenant
+        if tenant is not None:
+            # Start-time fair queueing: the fair clock follows the virtual
+            # start of the thread in service; the tenant is then charged
+            # one quantum scaled by its weight.
+            self._fair_clock = tenant.vtime
+            tenant.vtime += tenant._inv_weight
+            tenant.dispatches += 1
+
         obs = self._obs
         if obs is not None:
             obs.on_dispatch(thread, self._clock_now())
             wall_start = _perf_counter()
 
+        # The thread's heap entry stays live (usually at heap[0]) for the
+        # duration of the dispatch; _reindex defers to the post-dispatch
+        # refresh below, and the heap-top scans treat it as non-rival.
         self._current = thread
-        entry = thread._heap_entry
-        if entry is not None:
-            entry[5] = None
-            thread._heap_entry = None
-            self._ready_stale += 1
         try:
             # Inlined _dispatch (one frame fewer on the per-message path).
             if thread._pending_work > 0.0:
@@ -582,7 +928,7 @@ class Scheduler:
                 self._finish_message(thread, result)
         finally:
             self._current = None
-            self._reindex(thread)
+            self._reindex_after_dispatch(thread)
             if obs is not None:
                 obs.on_wall(thread, _perf_counter() - wall_start)
 
@@ -619,6 +965,17 @@ class Scheduler:
                 if not message.sender:
                     message.sender = thread.name
                 self._deliver(message)
+                if message.target == thread.name and thread._tenant is not None:
+                    # A tenanted thread re-posting to itself (the greedy
+                    # pump loop): with many backlogged tenants some peer
+                    # is ALWAYS more urgent, and preempting here would
+                    # strand the continuation's trailing bookkeeping in a
+                    # second, do-nothing dispatch — doubling the fabric's
+                    # per-item dispatch cost.  The tenant was charged at
+                    # dispatch start; finishing the generator now steals
+                    # nothing.  Untenanted threads keep the preemption
+                    # point, bit-for-bit.
+                    continue
                 if self._preempt_if_needed(thread):
                     return
                 continue

@@ -103,6 +103,8 @@ class MThread:
         "_heap_entry",
         "_ready_since",
         "_obs_counters",
+        "_tenant",
+        "parked",
     )
 
     def __init__(
@@ -149,6 +151,12 @@ class MThread:
         #: (probe, dispatch_counter, wall_counter) cached by the installed
         #: SchedulerProbe so the per-dispatch hooks skip the name lookups.
         self._obs_counters: tuple | None = None
+        #: Fair-share tenant (repro.mbt.scheduler.Tenant) this thread is
+        #: charged to; None (the default) keeps the classic sort order.
+        self._tenant: Any = None
+        #: Parked (quiesced-session) threads are never ready and hold no
+        #: ready-heap entry; see Scheduler.park_thread.
+        self.parked = False
 
         self.mailbox._listener = self._invalidate_key
 
@@ -166,6 +174,8 @@ class MThread:
     def is_ready(self) -> bool:
         """True when the thread can use the CPU right now."""
         if self.terminated:
+            return False
+        if self.parked:
             return False
         if self._wait is not None:
             return False

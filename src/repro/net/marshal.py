@@ -59,6 +59,14 @@ RUN_WIRE_BASE = 0x20
 #: chunks reach the unmarshaller.
 FLOW_CHUNK_MAGIC = 0x7F
 
+#: First byte of a stream-ID header chunk (repro.net.mux).  Reserved out
+#: of the run-codec id space like the flow chunk: on a multiplexed link
+#: every wire message is a coalesced frame whose FIRST chunk starts with
+#: this byte and names the logical stream (tenant) the rest of the frame
+#: belongs to.  The mux strips it before payloads reach the per-stream
+#: receivers.
+STREAM_CHUNK_MAGIC = 0x7E
+
 _run_encoders: dict[type, Callable[[Any], "EncodedRun"]] = {}
 _run_decoders: dict[int, tuple[Callable[[list], Any], Callable[[Any], Any]]] = {}
 
@@ -93,10 +101,10 @@ def register_run_codec(
     a single item from one chunk (the per-item fallback when a raw chunk
     meets an unbatched receiver).
     """
-    if not (RUN_WIRE_BASE <= wire_id < FLOW_CHUNK_MAGIC):
+    if not (RUN_WIRE_BASE <= wire_id < STREAM_CHUNK_MAGIC):
         raise MarshalError(
             f"run wire id must be in [{RUN_WIRE_BASE:#x}, "
-            f"{FLOW_CHUNK_MAGIC - 1:#x}], got {wire_id:#x}"
+            f"{STREAM_CHUNK_MAGIC - 1:#x}], got {wire_id:#x}"
         )
     _run_encoders[run_cls] = encode_run
     _run_decoders[wire_id] = (decode_many, decode_one)
@@ -116,6 +124,11 @@ def decode_item(data) -> Any:
             raise MarshalError(
                 "trace-context side-chunk reached the unmarshaller; "
                 "flow chunks must be stripped by the netpipe receiver"
+            )
+        if data[0] == STREAM_CHUNK_MAGIC:
+            raise MarshalError(
+                "stream-ID header chunk reached the unmarshaller; "
+                "multiplexed frames must pass through a StreamMux"
             )
         codec = _run_decoders.get(data[0])
         if codec is None:

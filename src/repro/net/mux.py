@@ -1,0 +1,426 @@
+"""Stream multiplexing: thousands of logical netpipes over ONE link.
+
+A multi-tenant fabric (:mod:`repro.fabric`) cannot afford one socket per
+session.  :class:`StreamMux` multiplexes any transport speaking the
+protocol interface (:class:`~repro.net.socketlink.SocketLink`,
+:class:`~repro.net.socketlink.InProcessLink`, a simulated protocol) into
+per-tenant :class:`MuxStream` endpoints that *themselves* speak the
+protocol interface — so ``make_netpipe_over(mux.open_stream(sid))`` just
+works and the whole marshalling / coalesced-frame / zero-copy substrate
+transfers unchanged.
+
+Wire format — the stream-ID TLV chunk
+-------------------------------------
+Every message on a multiplexed link is a coalesced frame
+(:func:`~repro.net.marshal.encode_batch`) whose FIRST chunk is a
+stream-ID header, extending the side-chunk pattern that flow tracing
+introduced (trace-context chunks ride *last*; stream headers ride
+*first* so routing needs no scan)::
+
+    chunk 0: STREAM_CHUNK_MAGIC (0x7E) | kind u8 | stream_id u32 | arg i32
+    chunk 1: the original payload (absent for EOS / CREDIT frames)
+
+``kind`` is DATA (a single ``protocol.send`` payload), FRAME (a
+coalesced frame payload, delivered to the stream's ``deliver_frame``
+for per-stream reassembly), EOS (per-stream end of stream; the shared
+link stays open for the other tenants), or CREDIT (flow control,
+``arg`` = items granted).
+
+Per-stream flow control
+-----------------------
+With ``credits=N`` a stream starts with a window of N items.  Sends are
+charged per item (a coalesced frame costs its chunk count); when the
+window is exhausted, further sends queue *locally* in the stream —
+``pending`` — instead of entering the shared link, so one slow tenant
+backpressures only itself.  The receiving end returns credits as its
+consumer actually drains (``note_drained``, wired automatically by
+:class:`~repro.net.netpipe.NetpipeReceiver`), batched to half the window
+to amortize the reverse-direction frames.  A stream with ``credits=None``
+(the default) is uncontrolled.
+
+Link-level EOS (the peer closed the whole transport) fans out as EOS to
+every open stream.  Frames for unknown stream ids — a tenant crashed and
+its session was closed while frames were in flight — are counted and
+dropped, never poisoning the remaining tenants.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.errors import MarshalError, RemoteError
+from repro.net.marshal import (
+    STREAM_CHUNK_MAGIC,
+    decode_batch,
+    decode_batch_views,
+    encode_batch,
+)
+
+#: Stream-frame kinds (second byte of the header chunk).
+MUX_DATA = 0
+MUX_FRAME = 1
+MUX_EOS = 2
+MUX_CREDIT = 3
+
+_HEADER = struct.Struct("!BBIi")
+
+
+def encode_stream_header(kind: int, stream_id: int, arg: int = 0) -> bytes:
+    """The stream-ID TLV chunk: magic, kind, stream id, argument."""
+    return _HEADER.pack(STREAM_CHUNK_MAGIC, kind, stream_id, arg)
+
+
+def decode_stream_header(chunk) -> tuple[int, int, int]:
+    """Parse a header chunk back to ``(kind, stream_id, arg)``."""
+    if len(chunk) != _HEADER.size or chunk[0] != STREAM_CHUNK_MAGIC:
+        raise MarshalError(
+            f"not a stream-ID header chunk ({len(chunk)} bytes, "
+            f"first byte {chunk[0] if len(chunk) else None!r})"
+        )
+    _, kind, stream_id, arg = _HEADER.unpack_from(chunk)
+    return kind, stream_id, arg
+
+
+def _frame_cost(payload) -> int:
+    """Items in a coalesced frame = its chunk count (header word)."""
+    if len(payload) < 4:
+        return 1
+    (count,) = struct.unpack_from("!I", payload, 0)
+    return count if count > 0 else 1
+
+
+class MuxStream:
+    """One logical stream of a :class:`StreamMux`.
+
+    Speaks the netpipe protocol interface on both sides: ``send`` /
+    ``send_frame`` / ``send_eos`` for the producer end,
+    ``on_deliver(deliver, deliver_eos, deliver_frame)`` for the consumer
+    end.  One process normally uses only one side of a given stream.
+    """
+
+    __slots__ = (
+        "mux",
+        "stream_id",
+        "flow",
+        "src",
+        "dst",
+        "credits",
+        "window",
+        "pending",
+        "eos_sent",
+        "eos_received",
+        "stats",
+        "_grant_batch",
+        "_to_grant",
+        "_deliver",
+        "_deliver_eos",
+        "_deliver_frame",
+    )
+
+    def __init__(
+        self,
+        mux: "StreamMux",
+        stream_id: int,
+        credits: int | None = None,
+        flow: str | None = None,
+    ):
+        self.mux = mux
+        self.stream_id = stream_id
+        self.flow = flow if flow is not None else f"stream-{stream_id}"
+        self.src = mux.src
+        self.dst = mux.dst
+        #: Remaining send window in items; None = flow control off.
+        self.credits = credits
+        self.window = credits
+        #: Locally queued (kind, payload) sends awaiting credit.
+        self.pending: list = []
+        self.eos_sent = False
+        self.eos_received = False
+        self.stats = {
+            "sent": 0,
+            "delivered": 0,
+            "retransmits": 0,
+            "stalled": 0,
+            "credits_granted": 0,
+        }
+        self._grant_batch = 1 if credits is None else max(1, credits // 2)
+        self._to_grant = 0
+        self._deliver: Callable[[bytes], None] | None = None
+        self._deliver_eos: Callable[[], None] | None = None
+        self._deliver_frame: Callable[[bytes], None] | None = None
+
+    # -- producer side ------------------------------------------------------
+
+    def send(self, payload) -> None:
+        self._submit(MUX_DATA, payload, 1)
+
+    def send_frame(self, payload) -> None:
+        self._submit(MUX_FRAME, payload, _frame_cost(payload))
+
+    def send_eos(self) -> None:
+        if self.eos_sent:
+            return
+        self.eos_sent = True
+        if self.pending:
+            # EOS must not overtake queued data.
+            self.pending.append((MUX_EOS, None, 0))
+            return
+        self.mux._wire_send(MUX_EOS, self.stream_id, None)
+
+    def _submit(self, kind: int, payload, cost: int) -> None:
+        if self.eos_sent:
+            raise RemoteError(
+                f"stream {self.flow!r}: send after send_eos"
+            )
+        credits = self.credits
+        if self.pending or (credits is not None and credits <= 0):
+            # Window exhausted (or draining in order behind earlier
+            # stalled sends): queue locally, off the shared link.
+            self.pending.append((kind, bytes(payload), cost))
+            self.stats["stalled"] += 1
+            return
+        if credits is not None:
+            self.credits = credits - cost
+        self.stats["sent"] += 1
+        self.mux._wire_send(kind, self.stream_id, payload)
+
+    def _on_credit(self, granted: int) -> None:
+        if self.credits is not None:
+            self.credits += granted
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        pending = self.pending
+        while pending:
+            kind, payload, cost = pending[0]
+            if kind != MUX_EOS and (
+                self.credits is not None and self.credits <= 0
+            ):
+                return
+            pending.pop(0)
+            if self.credits is not None:
+                self.credits -= cost
+            if kind == MUX_EOS:
+                self.mux._wire_send(MUX_EOS, self.stream_id, None)
+            else:
+                self.stats["sent"] += 1
+                self.mux._wire_send(kind, self.stream_id, payload)
+
+    # -- consumer side ------------------------------------------------------
+
+    def on_deliver(
+        self,
+        deliver: Callable[[bytes], None],
+        deliver_eos: Callable[[], None],
+        deliver_frame: Callable[[bytes], None] | None = None,
+    ) -> None:
+        self._deliver = deliver
+        self._deliver_eos = deliver_eos
+        self._deliver_frame = deliver_frame
+
+    def note_drained(self, items: int) -> None:
+        """The consumer actually removed ``items`` from its queue; return
+        the credits to the sender, batched to amortize control frames.
+        Wired automatically by :class:`~repro.net.netpipe.NetpipeReceiver`.
+        """
+        if self.window is None:
+            return
+        self._to_grant += items
+        if self._to_grant >= self._grant_batch or self.eos_received:
+            granted, self._to_grant = self._to_grant, 0
+            self.stats["credits_granted"] += granted
+            self.mux._wire_send(
+                MUX_CREDIT, self.stream_id, None, arg=granted
+            )
+
+    def _emit(self, kind: int, payload) -> None:
+        self.stats["delivered"] += 1
+        if kind == MUX_EOS:
+            self.eos_received = True
+            if self._deliver_eos is not None:
+                self._deliver_eos()
+            return
+        if kind == MUX_FRAME:
+            if self._deliver_frame is not None:
+                self._deliver_frame(payload)
+                return
+            if self._deliver is None:
+                raise RemoteError(
+                    f"stream {self.flow!r} has no receiver bound"
+                )
+            for chunk in decode_batch(payload):
+                self._deliver(chunk)
+            return
+        if self._deliver is None:
+            raise RemoteError(f"stream {self.flow!r} has no receiver bound")
+        self._deliver(payload)
+
+    # -- protocol-interface odds and ends -----------------------------------
+
+    def receiver_loss_sample(self) -> float:
+        return 0.0
+
+    def pump(self, max_messages: int | None = None) -> int:
+        """Pump the *shared* transport (routing may deliver to any
+        stream); provided so a stream can stand alone as an io source."""
+        return self.mux.pump(max_messages)
+
+    def close(self) -> None:
+        self.mux.close_stream(self.stream_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MuxStream {self.flow!r} id={self.stream_id} "
+            f"credits={self.credits} pending={len(self.pending)}>"
+        )
+
+
+class StreamMux:
+    """Multiplexes many :class:`MuxStream` endpoints over one transport.
+
+    Parameters
+    ----------
+    transport:
+        The shared link used for outbound frames (SocketLink end,
+        InProcessLink, simulated protocol...).
+    inbound:
+        The link inbound frames arrive on; defaults to ``transport``
+        (duplex links such as a socketpair end).  Pass the reverse-
+        direction link when the transport is unidirectional (e.g. a pair
+        of InProcessLinks).
+    """
+
+    def __init__(
+        self,
+        transport: Any,
+        inbound: Any | None = None,
+        src: str | None = None,
+        dst: str | None = None,
+    ):
+        self.transport = transport
+        self.inbound = inbound if inbound is not None else transport
+        self.src = src if src is not None else getattr(transport, "src", "local")
+        self.dst = dst if dst is not None else getattr(transport, "dst", "remote")
+        self._streams: dict[int, MuxStream] = {}
+        self.stats = {
+            "frames_sent": 0,
+            "frames_received": 0,
+            "credits_sent": 0,
+            "credits_received": 0,
+            "unknown_stream_drops": 0,
+        }
+        self.inbound.on_deliver(
+            self._rx_plain, self._rx_link_eos, self._rx_frame
+        )
+
+    # -- stream lifecycle ----------------------------------------------------
+
+    def open_stream(
+        self,
+        stream_id: int,
+        credits: int | None = None,
+        flow: str | None = None,
+    ) -> MuxStream:
+        """Register (or fetch) the stream called ``stream_id``.
+
+        Both link ends must open a given id to converse on it; ``credits``
+        arms per-stream flow control (see the module docstring) and must
+        match on the sending end (the receiving end's value sizes the
+        grant batching).
+        """
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            stream = MuxStream(self, stream_id, credits=credits, flow=flow)
+            self._streams[stream_id] = stream
+        return stream
+
+    def close_stream(self, stream_id: int) -> None:
+        """Forget a stream; late frames for it are counted and dropped."""
+        self._streams.pop(stream_id, None)
+
+    @property
+    def streams(self) -> dict[int, MuxStream]:
+        return dict(self._streams)
+
+    # -- outbound ------------------------------------------------------------
+
+    def _wire_send(
+        self, kind: int, stream_id: int, payload, arg: int = 0
+    ) -> None:
+        header = _HEADER.pack(STREAM_CHUNK_MAGIC, kind, stream_id, arg)
+        if payload is None:
+            frame = encode_batch([header])
+        else:
+            frame = encode_batch([header, payload])
+        self.stats["frames_sent"] += 1
+        if kind == MUX_CREDIT:
+            self.stats["credits_sent"] += 1
+        self.transport.send_frame(frame)
+
+    def send_link_eos(self) -> None:
+        """Close the whole shared link (fans out as EOS to every peer
+        stream)."""
+        self.transport.send_eos()
+
+    # -- inbound -------------------------------------------------------------
+
+    def _rx_frame(self, payload) -> None:
+        views = decode_batch_views(payload)
+        if not views:
+            raise MarshalError("empty frame on multiplexed link")
+        kind, stream_id, arg = decode_stream_header(views[0])
+        self.stats["frames_received"] += 1
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            self.stats["unknown_stream_drops"] += 1
+            return
+        if kind == MUX_CREDIT:
+            self.stats["credits_received"] += 1
+            stream._on_credit(arg)
+            return
+        if kind == MUX_EOS:
+            stream._emit(MUX_EOS, None)
+            return
+        if len(views) != 2:
+            raise MarshalError(
+                f"stream {stream_id} frame has {len(views)} chunks; "
+                "expected header + payload"
+            )
+        stream._emit(kind, views[1])
+
+    def _rx_plain(self, payload) -> None:
+        raise MarshalError(
+            "un-multiplexed data message on a multiplexed link; all "
+            "senders must go through StreamMux streams"
+        )
+
+    def _rx_link_eos(self) -> None:
+        for stream in list(self._streams.values()):
+            if not stream.eos_received:
+                stream._emit(MUX_EOS, None)
+
+    # -- io loop -------------------------------------------------------------
+
+    def pump(self, max_messages: int | None = None) -> int:
+        return self.inbound.pump(max_messages)
+
+    def wait(self, timeout: float) -> bool:
+        wait = getattr(self.inbound, "wait", None)
+        return wait(timeout) if wait is not None else False
+
+    def readable(self, timeout: float = 0.0) -> bool:
+        readable = getattr(self.inbound, "readable", None)
+        return readable(timeout) if readable is not None else False
+
+    def close(self) -> None:
+        self.transport.close()
+        if self.inbound is not self.transport:
+            self.inbound.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamMux {self.src}->{self.dst} streams={len(self._streams)} "
+            f"sent={self.stats['frames_sent']} "
+            f"received={self.stats['frames_received']}>"
+        )

@@ -153,6 +153,11 @@ class NetpipeReceiver(Component):
         self._eos_pending = False
         self._gate = None
         self.stats.update(frames_in=0, bytes_in=0, bytes_out=0)
+        #: Flow-control pacing: protocols with a ``note_drained`` method
+        #: (a :class:`repro.net.mux.MuxStream` with credits) learn how
+        #: many items the consumer actually pulled, so credit returns
+        #: track real drain rate rather than arrival rate.
+        self._drained_hook = getattr(protocol, "note_drained", None)
         protocol.on_deliver(
             self._deliver, self._deliver_eos, self._deliver_frame
         )
@@ -209,6 +214,8 @@ class NetpipeReceiver(Component):
                 self._obs_wait.observe(self._obs_now() - self._obs_ts.popleft())
             chunk = self._queue.popleft()
             self.stats["bytes_out"] += len(chunk)
+            if self._drained_hook is not None:
+                self._drained_hook(1)
             return OK, chunk
         if self._eos_pending:
             self._eos_pending = False
@@ -233,6 +240,8 @@ class NetpipeReceiver(Component):
                 for _ in range(min(k, len(ts))):
                     observe(now - ts.popleft())
             self.stats["items_out"] += k
+            if self._drained_hook is not None:
+                self._drained_hook(k)
             if k < n and self._eos_pending:
                 self._eos_pending = False
                 run.append(EOS)

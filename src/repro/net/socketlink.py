@@ -40,6 +40,18 @@ _EOS = 2
 
 _HEADER = struct.Struct("!BI")
 _RECV_CHUNK = 1 << 16
+#: Payloads up to this size are copied into the header's send call.
+_COALESCE_LIMIT = 1 << 12
+
+
+def _set_bufsize(sock: socket.socket, bufsize: int | None) -> None:
+    if bufsize is None:
+        return
+    for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, bufsize)
+        except OSError:  # pragma: no cover - platform cap; best effort
+            pass
 
 
 class SocketLink:
@@ -90,11 +102,24 @@ class SocketLink:
 
     @classmethod
     def pair(
-        cls, src: str = "shard-0", dst: str = "shard-1", flow: str = "flow"
+        cls,
+        src: str = "shard-0",
+        dst: str = "shard-1",
+        flow: str = "flow",
+        bufsize: int | None = None,
     ) -> tuple["SocketLink", "SocketLink"]:
         """A connected (sender-end, receiver-end) link pair over a
-        ``socket.socketpair()`` — one object per process end."""
+        ``socket.socketpair()`` — one object per process end.
+
+        ``bufsize`` raises SO_SNDBUF/SO_RCVBUF on both ends: a
+        multiplexed link carrying thousands of per-stream frames needs
+        headroom beyond the OS default (tiny messages pay large per-skb
+        accounting), or a burst from many tenants can block the sender
+        before the peer's pump loop gets a turn.
+        """
         a, b = socket.socketpair()
+        _set_bufsize(a, bufsize)
+        _set_bufsize(b, bufsize)
         tx = cls(sock_out=a, sock_in=a, src=src, dst=dst, flow=flow)
         rx = cls(sock_out=b, sock_in=b, src=src, dst=dst, flow=flow)
         return tx, rx
@@ -143,9 +168,17 @@ class SocketLink:
                 "receive-only end"
             )
         length = len(payload)
-        self._sock_out.sendall(_HEADER.pack(kind, length))
-        if length:
-            self._sock_out.sendall(payload)
+        header = _HEADER.pack(kind, length)
+        if length and length <= _COALESCE_LIMIT:
+            # One syscall (and, on AF_UNIX, one skb) per small message:
+            # a multiplexed link sends thousands of tiny per-stream
+            # frames, and per-message kernel overhead dominates their
+            # buffer accounting.
+            self._sock_out.sendall(header + bytes(payload))
+        else:
+            self._sock_out.sendall(header)
+            if length:
+                self._sock_out.sendall(payload)
         self.stats["bytes_sent"] += length
 
     def send(self, payload) -> None:

@@ -133,11 +133,33 @@ def _slo_lines(slo) -> list[str]:
     return lines
 
 
+def _tenant_lines(fabric, limit: int = 12) -> list[str]:
+    """Per-tenant rows, busiest first; a huge fleet folds into a tail."""
+    rows = fabric.tenant_rows()
+    rows.sort(key=lambda row: (-row["dispatches"], row["tenant"]))
+    live = sum(1 for row in rows if row["state"] == "live")
+    parked = sum(1 for row in rows if row["state"] == "parked")
+    lines = [
+        f"  sessions={len(rows)} live={live} parked={parked} "
+        f"done={len(rows) - live - parked}"
+    ]
+    for row in rows[:limit]:
+        lines.append(
+            f"  {row['tenant']:<20} {row['state']:<7} w={row['weight']:<4g} "
+            f"items={row['items']:<8} disp={row['dispatches']:<8} "
+            f"vt={row['vtime']:.1f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"  … and {len(rows) - limit} more")
+    return lines
+
+
 def render_top(
     registry=None,
     tracer=None,
     slo=None,
     engine=None,
+    fabric=None,
     now: float | None = None,
     width: int = 80,
 ) -> str:
@@ -149,6 +171,8 @@ def render_top(
     """
     if now is None and engine is not None:
         now = engine.scheduler.now()
+    if now is None and fabric is not None:
+        now = fabric.scheduler.now()
     bar = "─" * min(width, 80)
     title = "repro top"
     if now is not None:
@@ -161,6 +185,9 @@ def render_top(
             f"  pumps={len(drivers)} running={running} "
             f"steps={engine.scheduler.steps}"
         )
+    if fabric is not None:
+        lines.append("TENANTS")
+        lines.extend(_tenant_lines(fabric))
     if registry is not None:
         lines.append("METRICS")
         lines.extend(_metric_lines(registry) or ["  (registry empty)"])

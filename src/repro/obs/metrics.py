@@ -234,13 +234,33 @@ def _canonical_labels(labels: dict[str, Any]) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-class MetricsRegistry:
-    """Owns metric families; get-or-create by (family name, labels)."""
+#: Label tuple of a family's overflow bucket (see MetricsRegistry).
+OVERFLOW_LABELS = (("overflow", "true"),)
 
-    def __init__(self):
+#: Default per-family label-set cap.  100k tenants must not mean 100k
+#: live series per family: past the cap, new label sets collapse into
+#: one ``overflow="true"`` bucket and are counted as dropped.
+DEFAULT_SERIES_LIMIT = 1024
+
+
+class MetricsRegistry:
+    """Owns metric families; get-or-create by (family name, labels).
+
+    ``max_series_per_family`` bounds label cardinality: once a family
+    holds that many distinct label sets, any NEW label set is routed to
+    the family's single ``overflow="true"`` bucket instead of minting a
+    fresh series (aggregate signal survives, memory stays bounded), and
+    the drop is counted (:meth:`dropped_series`).  Existing series keep
+    working — the cap only gates creation.  ``None`` removes the bound.
+    """
+
+    def __init__(self, max_series_per_family: int | None = DEFAULT_SERIES_LIMIT):
         self._metrics: dict[tuple[str, tuple], Any] = {}
         self._families: dict[str, str] = {}
         self._help: dict[str, str] = {}
+        self.max_series_per_family = max_series_per_family
+        self._family_counts: dict[str, int] = {}
+        self._dropped: dict[str, int] = {}
 
     # ------------------------------------------------------------ creation
 
@@ -259,8 +279,22 @@ class MetricsRegistry:
         key = (name, _canonical_labels(labels))
         metric = self._metrics.get(key)
         if metric is None:
+            limit = self.max_series_per_family
+            if (
+                limit is not None
+                and self._family_counts.get(name, 0) >= limit
+            ):
+                # Cardinality cap hit: collapse into the overflow bucket.
+                self._dropped[name] = self._dropped.get(name, 0) + 1
+                key = (name, OVERFLOW_LABELS)
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, OVERFLOW_LABELS)
+                    self._metrics[key] = metric
+                return metric
             metric = cls(name, key[1])
             self._metrics[key] = metric
+            self._family_counts[name] = self._family_counts.get(name, 0) + 1
         return metric
 
     def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
@@ -301,6 +335,13 @@ class MetricsRegistry:
 
     def help_text(self, name: str) -> str:
         return self._help.get(name, "")
+
+    def dropped_series(self, name: str | None = None) -> int:
+        """Label sets refused past the cardinality cap — for one family,
+        or the registry-wide total."""
+        if name is not None:
+            return self._dropped.get(name, 0)
+        return sum(self._dropped.values())
 
     def collect(self) -> Iterable[tuple[str, str, list]]:
         """Yield ``(family, kind, metrics)`` in deterministic order."""

@@ -1,0 +1,197 @@
+"""Admission control: reject/queue/degrade policies on the fabric."""
+
+import pytest
+
+from repro import CollectSink, GreedyPump, IterSource, pipeline
+from repro.fabric import (
+    ACCEPT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    Decision,
+    SessionFabric,
+    SessionRejected,
+    SessionRequest,
+    degrade_over_capacity,
+    queue_over_capacity,
+)
+
+
+def build():
+    return pipeline(IterSource(range(3)), GreedyPump(), CollectSink())
+
+
+def request(name, rate=100.0, size=1000.0, weight=1.0):
+    """A priced request: demand = rate * size * 8 bits/s."""
+    return SessionRequest(
+        name=name, weight=weight, avg_item_bytes=size, item_rate=rate
+    )
+
+
+class TestController:
+    def test_demand_accumulates_and_releases(self):
+        ctl = AdmissionController(capacity_bps=10_000_000)
+        price = request("a").demand_bps()  # qosmap's estimate, per session
+        assert price is not None and price > 0
+        ctl.admit(request("a"))
+        ctl.admit(request("b"))
+        assert ctl.admitted_sessions == 2
+        assert ctl.demand_bps == pytest.approx(2 * price)
+        ctl.release("a")
+        assert ctl.demand_bps == pytest.approx(price)
+        ctl.release("a")  # idempotent
+
+    def test_unpriced_request_is_free(self):
+        ctl = AdmissionController(capacity_bps=1.0)
+        decision = ctl.admit(SessionRequest(name="free"))
+        assert decision.action == ACCEPT
+        assert ctl.demand_bps == 0.0
+
+    def test_policy_can_return_action_string(self):
+        ctl = AdmissionController(policy=lambda req, snap: REJECT)
+        assert ctl.admit(request("a")).action == REJECT
+        assert ctl.stats["rejected"] == 1
+
+    def test_snapshot_carries_budget_and_sensors(self):
+        class Sensor:
+            def sample(self):
+                return 0.75
+
+        class DeadSensor:
+            def sample(self):
+                raise RuntimeError("sensor wedged")
+
+        seen = {}
+
+        def policy(req, snapshot):
+            seen.update(snapshot)
+            return ACCEPT
+
+        ctl = AdmissionController(
+            policy=policy,
+            capacity_bps=5000.0,
+            max_sessions=10,
+            sensors={"load": Sensor(), "dead": DeadSensor()},
+        )
+        ctl.admit(request("a"))
+        assert seen["capacity_bps"] == 5000.0
+        assert seen["max_sessions"] == 10
+        assert seen["request_bps"] == pytest.approx(
+            request("a").demand_bps()
+        )
+        assert seen["sensors"] == {"load": 0.75, "dead": None}
+
+
+class TestRejectPolicy:
+    def test_over_bandwidth_rejects(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(capacity_bps=1_000_000)
+        )
+        fabric.open_session(build, name="a", request=request("a"))
+        with pytest.raises(SessionRejected) as err:
+            fabric.open_session(build, name="b", request=request("b"))
+        assert "bandwidth budget" in str(err.value)
+        assert fabric.admission.stats == {
+            "accepted": 1, "rejected": 1, "queued": 0, "degraded": 0,
+        }
+        assert "b" not in fabric.sessions
+
+    def test_over_session_budget_rejects(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(max_sessions=2)
+        )
+        fabric.open_session(build, name="a")
+        fabric.open_session(build, name="b")
+        with pytest.raises(SessionRejected):
+            fabric.open_session(build, name="c")
+
+    def test_rejected_session_leaves_no_residue(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(max_sessions=1)
+        )
+        fabric.open_session(build, name="a")
+        threads_before = set(fabric.scheduler.threads)
+        with pytest.raises(SessionRejected):
+            fabric.open_session(build, name="b")
+        assert set(fabric.scheduler.threads) == threads_before
+        assert "b" not in fabric.scheduler.tenants
+
+
+class TestQueuePolicy:
+    def test_queued_session_opens_when_capacity_frees(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(
+                policy=queue_over_capacity, max_sessions=1
+            )
+        )
+        fabric.open_session(build, name="a")
+        queued = fabric.open_session(build, name="b", request=request("b"))
+        assert queued is None
+        assert len(fabric.pending) == 1
+        assert fabric.admission.stats["queued"] == 1
+        # Still over budget: retry keeps it queued.
+        assert fabric.admit_pending() == []
+        assert len(fabric.pending) == 1
+        fabric.close_session("a")
+        opened = fabric.admit_pending()
+        assert [s.name for s in opened] == ["b"]
+        assert fabric.pending == []
+        assert "b" in fabric.sessions
+
+
+class TestDegradePolicy:
+    def test_over_capacity_admits_at_reduced_weight(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(
+                policy=degrade_over_capacity(factor=0.25),
+                max_sessions=1,
+            )
+        )
+        full = fabric.open_session(build, name="a", weight=2.0)
+        degraded = fabric.open_session(build, name="b", weight=2.0)
+        assert full.weight == 2.0
+        assert degraded.weight == pytest.approx(0.5)
+        assert degraded.tenant.weight == pytest.approx(0.5)
+        assert degraded.decision.action == "degrade"
+        assert fabric.admission.stats["degraded"] == 1
+
+    def test_degraded_sessions_still_complete(self):
+        fabric = SessionFabric(
+            admission=AdmissionController(
+                policy=degrade_over_capacity(), max_sessions=1
+            )
+        )
+        fabric.open_session(build, name="a")
+        fabric.open_session(build, name="b")
+        for _ in range(50):
+            fabric.run(max_steps=fabric.scheduler.steps + 500)
+            if fabric.completed:
+                break
+        assert fabric.completed
+
+
+class TestCustomPolicy:
+    def test_sensor_driven_shedding(self):
+        """The feedback loop the paper's policy-free stance calls for:
+        the mechanism exposes sensors, the caller decides."""
+        load = {"value": 0.2}
+
+        class LoadSensor:
+            def sample(self):
+                return load["value"]
+
+        def shed_when_hot(req, snapshot):
+            reading = snapshot["sensors"]["load"]
+            if reading is not None and reading > 0.9:
+                return Decision(action=REJECT, reason="overloaded")
+            return Decision(action=ACCEPT)
+
+        fabric = SessionFabric(
+            admission=AdmissionController(
+                policy=shed_when_hot, sensors={"load": LoadSensor()}
+            )
+        )
+        fabric.open_session(build, name="cool")
+        load["value"] = 0.95
+        with pytest.raises(SessionRejected):
+            fabric.open_session(build, name="hot")

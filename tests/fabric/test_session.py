@@ -1,0 +1,289 @@
+"""SessionFabric lifecycle: open/close, namespacing, parking, stats."""
+
+import pytest
+
+from repro import CollectSink, GreedyPump, IterSource, pipeline
+from repro.errors import DeployError
+from repro.fabric import SessionFabric
+from repro.mbt import Scheduler, VirtualClock
+
+
+def counting_program(items=5):
+    """Builder factory: each call of the returned builder makes a fresh
+    source -> pump -> sink pipeline and remembers its sink."""
+    sinks = []
+
+    def build():
+        sink = CollectSink(name="sink")
+        sinks.append(sink)
+        return pipeline(IterSource(range(items)), GreedyPump(), sink)
+
+    return build, sinks
+
+
+def run_rounds(fabric, rounds=50, steps=500):
+    """Drive a fabric in bounded increments (max_steps is cumulative)."""
+    for _ in range(rounds):
+        fabric.run(max_steps=fabric.scheduler.steps + steps)
+        if fabric.completed:
+            break
+    return fabric
+
+
+class TestOpenClose:
+    def test_two_sessions_same_program_run_isolated(self):
+        build, sinks = counting_program()
+        fabric = SessionFabric()
+        alice = fabric.open_session(build, name="alice")
+        bob = fabric.open_session(build, name="bob")
+        run_rounds(fabric)
+        assert fabric.completed
+        assert sinks[0].items == list(range(5))
+        assert sinks[1].items == list(range(5))
+        assert alice.completed and bob.completed
+
+    def test_component_and_thread_names_are_namespaced(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        alice = fabric.open_session(build, name="alice")
+        bob = fabric.open_session(build, name="bob")
+        for session in (alice, bob):
+            for component in session.pipeline.components:
+                assert component.name.startswith(f"{session.name}/")
+            for thread_name in session.thread_names:
+                assert f"{session.name}/" in thread_name
+        # A thousand builds of the same program can never collide.
+        assert not set(alice.thread_names) & set(bob.thread_names)
+
+    def test_auto_names_are_sequential(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        assert fabric.open_session(build).name == "s0"
+        assert fabric.open_session(build).name == "s1"
+
+    def test_duplicate_name_rejected(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        fabric.open_session(build, name="alice")
+        with pytest.raises(DeployError):
+            fabric.open_session(build, name="alice")
+
+    def test_at_most_one_bare_session(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        fabric.open_session(build, name="cert", namespace=False)
+        with pytest.raises(DeployError):
+            fabric.open_session(build, name="other", namespace=False)
+
+    def test_bare_scope_freed_on_close(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        fabric.open_session(build, name="cert", namespace=False)
+        fabric.close_session("cert")
+        assert fabric.open_session(
+            build, name="cert2", namespace=False
+        ) is not None
+
+    def test_close_removes_threads_and_tenant(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        alice = fabric.open_session(build, name="alice")
+        names = alice.thread_names
+        fabric.close_session("alice")
+        assert alice.closed
+        assert "alice" not in fabric.sessions
+        assert "alice" not in fabric.scheduler.tenants
+        assert not set(names) & set(fabric.scheduler.threads)
+
+    def test_close_unknown_session_is_noop(self):
+        SessionFabric().close_session("ghost")
+
+
+class TestLiveAttachDetach:
+    def test_attach_mid_run_does_not_pause_others(self):
+        build, sinks = counting_program(items=40)
+        fabric = SessionFabric()
+        fabric.open_session(build, name="early")
+        fabric.run(max_steps=fabric.scheduler.steps + 30)
+        early_progress = len(sinks[0].items)
+        assert 0 < early_progress < 40
+        # Attach while 'early' is mid-flight: no stop/start cycle, the
+        # scheduler just gains threads between dispatches.
+        fabric.open_session(build, name="late")
+        run_rounds(fabric)
+        assert sinks[0].items == list(range(40))
+        assert sinks[1].items == list(range(40))
+
+    def test_detach_mid_run_leaves_others_running(self):
+        build, sinks = counting_program(items=40)
+        fabric = SessionFabric()
+        fabric.open_session(build, name="victim")
+        fabric.open_session(build, name="survivor")
+        fabric.run(max_steps=fabric.scheduler.steps + 40)
+        fabric.close_session("victim")
+        run_rounds(fabric)
+        assert fabric.completed
+        assert sinks[1].items == list(range(40))
+        assert len(sinks[0].items) < 40  # stopped where it was
+
+
+class TestParking:
+    def test_parked_session_makes_no_progress(self):
+        build, sinks = counting_program(items=20)
+        fabric = SessionFabric()
+        fabric.open_session(build, name="sleeper")
+        fabric.open_session(build, name="worker")
+        fabric.park("sleeper")
+        run_rounds(fabric)
+        assert fabric.completed  # parked sessions don't gate completion
+        assert sinks[0].items == []
+        assert sinks[1].items == list(range(20))
+
+    def test_unpark_resumes_to_completion(self):
+        build, sinks = counting_program(items=20)
+        fabric = SessionFabric()
+        sleeper = fabric.open_session(build, name="sleeper")
+        fabric.park("sleeper")
+        run_rounds(fabric)
+        assert sinks[0].items == []
+        sleeper.unpark()
+        run_rounds(fabric)
+        assert sinks[0].items == list(range(20))
+
+    def test_park_unpark_idempotent(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        session = fabric.open_session(build, name="s")
+        fabric.park("s")
+        fabric.park("s")
+        assert session.parked
+        fabric.unpark("s")
+        fabric.unpark("s")
+        assert not session.parked
+
+
+class TestWeights:
+    def test_sessions_become_weighted_tenants(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        heavy = fabric.open_session(build, name="heavy", weight=4.0)
+        light = fabric.open_session(build, name="light")
+        assert heavy.tenant.weight == 4.0
+        assert light.tenant.weight == 1.0
+        for session in (heavy, light):
+            for thread in session.threads:
+                assert thread._tenant is session.tenant
+
+    def test_set_weight_live(self):
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        session = fabric.open_session(build, name="s", weight=1.0)
+        session.set_weight(8.0)
+        assert session.tenant.weight == 8.0
+        assert session.weight == 8.0
+
+    def test_weighted_vtime_accrual(self):
+        build, _ = counting_program(items=200)
+        fabric = SessionFabric()
+        heavy = fabric.open_session(build, name="heavy", weight=4.0)
+        light = fabric.open_session(build, name="light", weight=1.0)
+        run_rounds(fabric)
+        # Both ran to completion; the heavy tenant paid 1/4 per dispatch.
+        assert heavy.tenant.dispatches > 0
+        assert heavy.tenant.vtime == pytest.approx(
+            heavy.tenant.dispatches / 4.0
+        )
+        assert light.tenant.vtime == pytest.approx(
+            float(light.tenant.dispatches)
+        )
+
+
+class TestStatsAndObs:
+    def test_per_session_stats_are_isolated(self):
+        build, _ = counting_program(items=7)
+        fabric = SessionFabric()
+        alice = fabric.open_session(build, name="alice")
+        bob = fabric.open_session(build, name="bob")
+        run_rounds(fabric)
+        for session in (alice, bob):
+            stats = session.stats
+            assert all(
+                name.startswith(f"{session.name}/")
+                for name in stats.components
+            )
+            sink_stats = stats.components[f"{session.name}/sink"]
+            assert sink_stats["items_in"] == 7
+
+    def test_collect_metrics_labels_by_tenant(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        build, _ = counting_program()
+        fabric = SessionFabric()
+        fabric.open_session(build, name="alice", weight=2.0)
+        fabric.open_session(build, name="bob")
+        fabric.park("bob")
+        registry = MetricsRegistry()
+        fabric.collect_metrics(registry)
+        weight = registry.get(
+            "repro_fabric_session_weight", tenant="alice"
+        )
+        assert weight.value == 2.0
+        parked = registry.get(
+            "repro_fabric_session_parked", tenant="bob"
+        )
+        assert parked.value == 1.0
+        assert registry.get(
+            "repro_fabric_tenant_vtime", tenant="alice"
+        ) is not None
+
+    def test_tenant_rows_for_top(self):
+        build, _ = counting_program(items=3)
+        fabric = SessionFabric()
+        fabric.open_session(build, name="alice")
+        fabric.open_session(build, name="bob")
+        fabric.park("bob")
+        run_rounds(fabric)
+        rows = {row["tenant"]: row for row in fabric.tenant_rows()}
+        assert rows["alice"]["state"] == "done"
+        assert rows["bob"]["state"] == "parked"
+        assert rows["alice"]["items"] > 0
+        assert rows["alice"]["dispatches"] > 0
+        assert set(rows["alice"]) >= {
+            "tenant", "state", "weight", "threads", "items",
+            "dispatches", "vtime", "time",
+        }
+
+
+class TestSharedScheduler:
+    def test_external_scheduler_is_used(self):
+        scheduler = Scheduler(clock=VirtualClock())
+        build, _ = counting_program()
+        fabric = SessionFabric(scheduler=scheduler)
+        session = fabric.open_session(build, name="s")
+        assert fabric.scheduler is scheduler
+        assert session.engine.scheduler is scheduler
+
+    def test_single_session_schedule_matches_dedicated_engine(self):
+        """The no-sharing case is bit-for-bit the plain Engine run: an
+        untenanted... rather, a one-tenant fabric produces the same sink
+        contents and the same component stats as a dedicated engine."""
+        from repro import Engine
+
+        def build():
+            return pipeline(
+                IterSource(range(9)), GreedyPump(), CollectSink(name="sink")
+            )
+
+        dedicated_sink = CollectSink(name="sink")
+        dedicated = Engine(
+            pipeline(IterSource(range(9)), GreedyPump(), dedicated_sink)
+        )
+        dedicated.setup()
+        dedicated.start()
+        dedicated.run()
+
+        build_f, sinks = counting_program(items=9)
+        fabric = SessionFabric()
+        fabric.open_session(build_f, name="only")
+        run_rounds(fabric)
+        assert sinks[0].items == dedicated_sink.items

@@ -118,7 +118,7 @@ class TestReadyHeapCompaction:
         self.churn(sched, threads, 100)
         sched._compact_ready_heap()
         assert sched._ready_stale == 0
-        live = [entry[5] for entry in sched._ready_heap]
+        live = [entry[6] for entry in sched._ready_heap]
         assert sorted(t.name for t in live) == [t.name for t in threads]
         for thread in threads:
             assert thread._heap_entry in sched._ready_heap

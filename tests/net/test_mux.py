@@ -1,0 +1,325 @@
+"""StreamMux: per-tenant stream multiplexing over one shared transport."""
+
+import struct
+
+import pytest
+
+from repro.errors import MarshalError, RemoteError
+from repro.net import InProcessLink, SocketLink
+from repro.net.marshal import (
+    STREAM_CHUNK_MAGIC,
+    decode_batch_views,
+    encode_batch,
+)
+from repro.net.mux import (
+    MUX_CREDIT,
+    MUX_DATA,
+    MUX_EOS,
+    MUX_FRAME,
+    StreamMux,
+    decode_stream_header,
+    encode_stream_header,
+)
+
+
+def mux_pair():
+    """Two muxes over a socketpair (duplex, both directions)."""
+    a, b = SocketLink.pair(bufsize=1 << 22)
+    return StreamMux(a), StreamMux(b)
+
+
+def collect(stream):
+    state = {"messages": [], "frames": [], "eos": 0}
+    stream.on_deliver(
+        lambda data: state["messages"].append(bytes(data)),
+        lambda: state.__setitem__("eos", state["eos"] + 1),
+        lambda frame: state["frames"].append(bytes(frame)),
+    )
+    return state
+
+
+# ------------------------------------------------------------- header codec
+
+
+class TestStreamHeader:
+    def test_round_trip(self):
+        chunk = encode_stream_header(MUX_DATA, 123456, arg=-7)
+        assert chunk[0] == STREAM_CHUNK_MAGIC
+        assert decode_stream_header(chunk) == (MUX_DATA, 123456, -7)
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(MarshalError):
+            decode_stream_header(b"\x00" * 10)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(MarshalError):
+            decode_stream_header(bytes([STREAM_CHUNK_MAGIC, 0, 0]))
+
+    def test_stray_header_chunk_rejected_by_decode_item(self):
+        from repro.net.marshal import decode_item
+
+        with pytest.raises(MarshalError):
+            decode_item(encode_stream_header(MUX_DATA, 1))
+
+
+# ------------------------------------------------------------- routing
+
+
+class TestRouting:
+    def test_data_routes_to_its_stream(self):
+        tx, rx = mux_pair()
+        states = {}
+        for sid in (1, 2, 3):
+            tx.open_stream(sid)
+            states[sid] = collect(rx.open_stream(sid))
+        tx.streams[2].send(b"for-two")
+        tx.streams[1].send(b"for-one")
+        rx.pump()
+        assert states[1]["messages"] == [b"for-one"]
+        assert states[2]["messages"] == [b"for-two"]
+        assert states[3]["messages"] == []
+
+    def test_frames_route_and_reassemble_per_stream(self):
+        tx, rx = mux_pair()
+        tx.open_stream(9)
+        state = collect(rx.open_stream(9))
+        frame = encode_batch([b"item-a", b"item-b"])
+        tx.streams[9].send_frame(frame)
+        rx.pump()
+        assert state["frames"] == [frame]
+
+    def test_frame_without_deliver_frame_falls_back_to_items(self):
+        tx, rx = mux_pair()
+        tx.open_stream(9)
+        messages = []
+        rx.open_stream(9).on_deliver(
+            lambda data: messages.append(bytes(data)), lambda: None
+        )
+        tx.streams[9].send_frame(encode_batch([b"one", b"two"]))
+        rx.pump()
+        assert messages == [b"one", b"two"]
+
+    def test_per_stream_eos_leaves_link_and_siblings_open(self):
+        tx, rx = mux_pair()
+        for sid in (1, 2):
+            tx.open_stream(sid)
+        s1, s2 = collect(rx.open_stream(1)), collect(rx.open_stream(2))
+        tx.streams[1].send_eos()
+        rx.pump()
+        assert s1["eos"] == 1 and s2["eos"] == 0
+        tx.streams[2].send(b"still-flowing")
+        rx.pump()
+        assert s2["messages"] == [b"still-flowing"]
+
+    def test_send_after_eos_raises(self):
+        tx, _ = mux_pair()
+        stream = tx.open_stream(1)
+        stream.send_eos()
+        with pytest.raises(RemoteError):
+            stream.send(b"late")
+
+    def test_unknown_stream_is_counted_and_dropped(self):
+        tx, rx = mux_pair()
+        tx.open_stream(5).send(b"nobody-home")
+        rx.pump()
+        assert rx.stats["unknown_stream_drops"] == 1
+        # ...and the link keeps working for known streams.
+        tx.open_stream(6)
+        state = collect(rx.open_stream(6))
+        tx.streams[6].send(b"alive")
+        rx.pump()
+        assert state["messages"] == [b"alive"]
+
+    def test_link_eos_fans_out_to_every_stream(self):
+        tx, rx = mux_pair()
+        states = []
+        for sid in range(4):
+            tx.open_stream(sid)
+            states.append(collect(rx.open_stream(sid)))
+        tx.send_link_eos()
+        rx.pump()
+        assert all(s["eos"] == 1 for s in states)
+
+    def test_plain_message_on_muxed_link_rejected(self):
+        a, b = SocketLink.pair()
+        StreamMux(b)
+        a.send(b"un-multiplexed")
+        with pytest.raises(MarshalError):
+            b.pump()
+
+    def test_interleaved_bidirectional_streams(self):
+        """Both directions of one socketpair carry multiple streams at
+        once; each side's per-stream order is preserved."""
+        left, right = mux_pair()
+        l_states = {sid: collect(left.open_stream(sid)) for sid in (1, 2)}
+        r_states = {sid: collect(right.open_stream(sid)) for sid in (1, 2)}
+        for i in range(5):
+            left.streams[1].send(b"l1-%d" % i)
+            right.streams[2].send(b"r2-%d" % i)
+            left.streams[2].send(b"l2-%d" % i)
+            right.streams[1].send(b"r1-%d" % i)
+        left.pump()
+        right.pump()
+        assert r_states[1]["messages"] == [b"l1-%d" % i for i in range(5)]
+        assert r_states[2]["messages"] == [b"l2-%d" % i for i in range(5)]
+        assert l_states[1]["messages"] == [b"r1-%d" % i for i in range(5)]
+        assert l_states[2]["messages"] == [b"r2-%d" % i for i in range(5)]
+
+
+# ------------------------------------------------------------- flow control
+
+
+class TestFlowControl:
+    def pair_with_credits(self, credits):
+        tx, rx = mux_pair()
+        sender = tx.open_stream(1, credits=credits)
+        receiver = rx.open_stream(1, credits=credits)
+        return tx, rx, sender, receiver
+
+    def test_window_exhaustion_queues_locally(self):
+        tx, rx, sender, receiver = self.pair_with_credits(3)
+        state = collect(receiver)
+        for i in range(8):
+            sender.send(b"m%d" % i)
+        assert sender.credits == 0
+        assert len(sender.pending) == 5
+        assert sender.stats["stalled"] == 5
+        rx.pump()
+        # Only the window's worth crossed the shared link.
+        assert state["messages"] == [b"m0", b"m1", b"m2"]
+
+    def test_note_drained_returns_credits_and_flushes(self):
+        tx, rx, sender, receiver = self.pair_with_credits(3)
+        state = collect(receiver)
+        for i in range(8):
+            sender.send(b"m%d" % i)
+        rx.pump()
+        receiver.note_drained(3)      # >= grant batch (3 // 2 = 1)
+        tx.pump()                     # sender sees the credit frame
+        rx.pump()                     # flushed messages arrive
+        assert len(state["messages"]) >= 6
+        while sender.pending:
+            receiver.note_drained(2)
+            tx.pump()
+            rx.pump()
+        assert state["messages"] == [b"m%d" % i for i in range(8)]
+
+    def test_grants_are_batched(self):
+        tx, rx, sender, receiver = self.pair_with_credits(8)
+        collect(receiver)
+        sender.send(b"x")
+        rx.pump()
+        receiver.note_drained(1)  # below batch (8 // 2 = 4): no frame yet
+        assert rx.stats["credits_sent"] == 0
+        receiver.note_drained(3)  # reaches 4: one credit frame
+        assert rx.stats["credits_sent"] == 1
+        tx.pump()
+        assert sender.credits == 8 - 1 + 4
+
+    def test_frame_cost_is_chunk_count(self):
+        tx, rx, sender, receiver = self.pair_with_credits(5)
+        collect(receiver)
+        sender.send_frame(encode_batch([b"a", b"b", b"c"]))
+        assert sender.credits == 2
+        sender.send_frame(encode_batch([b"d", b"e", b"f"]))
+        # Second frame overdraws the window once (3 > 2): allowed, so a
+        # frame bigger than the remaining window can never deadlock.
+        assert sender.credits == -1
+        sender.send(b"g")
+        assert sender.pending  # now the window really is shut
+
+    def test_eos_waits_behind_pending_data(self):
+        tx, rx, sender, receiver = self.pair_with_credits(1)
+        state = collect(receiver)
+        sender.send(b"first")
+        sender.send(b"second")   # stalls
+        sender.send_eos()        # must not overtake "second"
+        rx.pump()
+        assert state["messages"] == [b"first"]
+        assert state["eos"] == 0
+        receiver.note_drained(1)
+        tx.pump()
+        rx.pump()
+        receiver.note_drained(1)
+        tx.pump()
+        rx.pump()
+        assert state["messages"] == [b"first", b"second"]
+        assert state["eos"] == 1
+
+    def test_uncontrolled_stream_never_stalls(self):
+        tx, rx = mux_pair()
+        sender = tx.open_stream(1)          # credits=None
+        state = collect(rx.open_stream(1))
+        for i in range(100):
+            sender.send(b"%d" % i)
+        rx.pump()
+        assert len(state["messages"]) == 100
+        assert sender.stats["stalled"] == 0
+
+
+# ------------------------------------------------------------- transports
+
+
+class TestTransports:
+    def test_over_in_process_links(self):
+        """Unidirectional InProcessLinks: forward and reverse links make
+        one duplex mux pair (the co-simulation twin of a socketpair)."""
+        forward = InProcessLink("a", "b", "fabric")
+        reverse = InProcessLink("b", "a", "fabric-back")
+        left = StreamMux(forward, inbound=reverse)
+        right = StreamMux(reverse, inbound=forward)
+        left.open_stream(1)
+        state = collect(right.open_stream(1))
+        left.streams[1].send(b"hello")     # synchronous delivery
+        assert state["messages"] == [b"hello"]
+
+    def test_thousand_streams_one_socketpair(self):
+        """The fabric acceptance shape: >= 1000 concurrent streams on ONE
+        shared SocketLink, each with its own in-order delivery and EOS."""
+        tx, rx = mux_pair()
+        states = {}
+        for sid in range(1000):
+            tx.open_stream(sid)
+            states[sid] = collect(rx.open_stream(sid))
+        for sid in range(1000):
+            tx.streams[sid].send(struct.pack("!I", sid))
+            tx.streams[sid].send(struct.pack("!I", sid ^ 0xFFFF))
+            if sid % 100 == 0:
+                rx.pump()
+        for sid in range(1000):
+            tx.streams[sid].send_eos()
+            if sid % 100 == 0:
+                rx.pump()
+        rx.pump()
+        for sid in range(1000):
+            assert states[sid]["messages"] == [
+                struct.pack("!I", sid), struct.pack("!I", sid ^ 0xFFFF),
+            ]
+            assert states[sid]["eos"] == 1
+        assert rx.stats["unknown_stream_drops"] == 0
+
+    def test_netpipe_pair_over_mux_streams(self):
+        """make_netpipe_over(stream) wires note_drained automatically:
+        consuming from the receiving netpipe returns credits."""
+        from repro.components.buffers import OnEmpty
+        from repro.net.netpipe import make_netpipe_over
+
+        tx, rx = mux_pair()
+        s_tx = tx.open_stream(1, credits=2)
+        s_rx = rx.open_stream(1, credits=2)
+        sender, _ = make_netpipe_over(s_tx)
+        _, receiver = make_netpipe_over(s_rx, on_empty=OnEmpty.NIL)
+        for i in range(5):
+            sender.protocol.send(b"p%d" % i)
+        rx.pump()
+        # Window of 2 crossed; drain them through the netpipe receiver.
+        out = []
+        for _ in range(2):
+            status, item = receiver.try_pull()
+            out.append(bytes(item))
+        assert out == [b"p0", b"p1"]
+        # Credits went back (2 drains >= batch of 1); flush the rest.
+        tx.pump()
+        rx.pump()
+        status, item = receiver.try_pull()
+        assert bytes(item) == b"p2"

@@ -56,6 +56,43 @@ class TestRenderTop:
         text = render_top(now=1.25)
         assert "t=1.250s" in text
 
+    def test_tenant_pane_lists_sessions_busiest_first(self):
+        from repro.fabric import SessionFabric
+
+        def build():
+            return pipeline(
+                IterSource(range(12)), GreedyPump(), CollectSink()
+            )
+
+        fabric = SessionFabric()
+        fabric.open_session(build, name="alice", weight=4.0)
+        fabric.open_session(build, name="bob")
+        fabric.open_session(build, name="carol")
+        fabric.park("carol")
+        fabric.run_to_completion(max_steps=100_000)
+        text = render_top(fabric=fabric)
+        assert "TENANTS" in text
+        assert "sessions=3 live=0 parked=1 done=2" in text
+        lines = text.splitlines()
+        alice = next(i for i, l in enumerate(lines) if "alice" in l)
+        carol = next(i for i, l in enumerate(lines) if "carol" in l)
+        assert alice < carol  # busiest first; parked carol never dispatched
+        assert "w=4" in lines[alice]
+
+    def test_tenant_pane_folds_a_large_fleet(self):
+        from repro.fabric import SessionFabric
+
+        def build():
+            return pipeline(
+                IterSource(range(2)), GreedyPump(), CollectSink()
+            )
+
+        fabric = SessionFabric()
+        for index in range(40):
+            fabric.open_session(build, name=f"s{index}")
+        text = render_top(fabric=fabric)
+        assert "… and 28 more" in text  # 12-row pane over 40 sessions
+
     def test_width_is_enforced(self):
         engine, telemetry, tracer, slo = _traced_run()
         text = render_top(
